@@ -1,0 +1,64 @@
+"""A1 — Ablations on the map-creation design choices.
+
+Each row switches one mechanism off and shows why it is there:
+
+- Dabeer's corrective feedback (per-vehicle bias estimation) [29];
+- the lane learner's geometric smoothness prior (Kim et al. [45]);
+- range weighting in crowd triangulation.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.creation import CrowdMapper
+from repro.eval import ResultTable
+from repro.geometry.polyline import straight
+from repro.update import LaneLearner
+from repro.world import drive_route, generate_highway
+
+
+def _crowd(rng, feedback_rounds):
+    hw = generate_highway(rng, length=2000.0, sign_spacing=150.0)
+    lane = next(iter(hw.lanes()))
+    mapper = CrowdMapper(feedback_rounds=feedback_rounds)
+    contribs = [
+        mapper.collect(hw, drive_route(hw, lane.id, 1900.0, rng), v, rng)
+        for v in range(12)
+    ]
+    return mapper.fuse(contribs, hw).error.mean
+
+
+def _lane_learner(rng):
+    truth = straight([0, 0], [300, 0], spacing=10.0)
+    learner = LaneLearner(truth, station_bin=10.0, smoothness=40.0)
+    s = rng.uniform(0, 300, 100)
+    d = rng.normal(0.0, 1.2, 100)
+    pts = np.array([truth.point_at(float(si)) + [0, float(di)]
+                    for si, di in zip(s, d)])
+    smooth = learner.score(learner.fit(pts), truth).mean
+    naive = learner.score(learner.fit_naive(pts), truth).mean
+    return smooth, naive
+
+
+def _experiment(rng):
+    seed = int(rng.integers(0, 2**31))
+    with_fb = _crowd(np.random.default_rng(seed), feedback_rounds=3)
+    without_fb = _crowd(np.random.default_rng(seed), feedback_rounds=0)
+    smooth, naive = _lane_learner(rng)
+    return with_fb, without_fb, smooth, naive
+
+
+def test_a01_creation_ablations(benchmark, rng):
+    with_fb, without_fb, smooth, naive = once(benchmark, _experiment, rng)
+
+    table = ResultTable("A1", "creation-pipeline ablations")
+    table.add("crowd error with feedback (m)", "(better)", f"{with_fb:.3f}",
+              ok=with_fb <= without_fb)
+    table.add("crowd error without feedback (m)", "(worse)",
+              f"{without_fb:.3f}", ok=None)
+    table.add("lane fit with smoothness prior (m)", "(better)",
+              f"{smooth:.3f}", ok=smooth < naive)
+    table.add("lane fit per-bin average (m)", "(worse)", f"{naive:.3f}",
+              ok=None)
+    table.print()
+    assert table.all_ok()

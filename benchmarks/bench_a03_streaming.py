@@ -1,0 +1,64 @@
+"""A3 — Tile streaming: bounded-memory map access (the survey's open
+data-management problem [73]).
+
+A simulated drive queries the map continuously; the streaming view must
+answer identically to the in-memory map while holding only a bounded
+working set, with a high cache hit rate (drives are spatially coherent).
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.eval import ResultTable
+from repro.storage import StreamingMap, TileStore
+from repro.world import drive_route, generate_grid_city
+
+
+def _experiment(rng):
+    city = generate_grid_city(rng, 6, 5, block_size=200.0)
+    store = TileStore.build(city, tile_size=250.0)
+    streaming = StreamingMap(store, max_tiles=6)
+
+    lane = max(city.lanes(), key=lambda l: l.length)
+    traj = drive_route(city, lane.id, 2500.0, rng)
+
+    mismatches = 0
+    queries = 0
+    for t in np.arange(traj.start_time, traj.end_time, 2.0):
+        pose = traj.pose_at(float(t))
+        # Landmark queries use exact distances, so full and streaming maps
+        # must agree except for features within the 1 cm coordinate
+        # quantization band of the radius.
+        full = {lm.id: lm for lm in city.landmarks_in_radius(
+            pose.x, pose.y, 50.0)}
+        part = {lm.id: lm for lm in streaming.landmarks_in_radius(
+            pose.x, pose.y, 50.0)}
+        queries += 1
+        centre = np.array([pose.x, pose.y])
+        for eid in set(full) ^ set(part):
+            lm = full.get(eid) or part.get(eid)
+            if abs(float(np.hypot(*(lm.position - centre))) - 50.0) > 0.02:
+                mismatches += 1
+                break
+    return (store, streaming, queries, mismatches,
+            len(store.tiles()))
+
+
+def test_a03_tile_streaming(benchmark, rng):
+    store, streaming, queries, mismatches, n_tiles = once(
+        benchmark, _experiment, rng)
+
+    table = ResultTable("A3", "tile streaming under a bounded working set")
+    table.add("queries answered identically", f"{queries}/{queries}",
+              f"{queries - mismatches}/{queries}", ok=mismatches == 0)
+    table.add("tiles total", str(n_tiles), str(n_tiles), ok=n_tiles > 12)
+    resident = len(streaming.resident_tiles())
+    table.add("tiles resident", "<= 6", str(resident), ok=resident <= 6)
+    frac = streaming.resident_bytes() / max(store.total_bytes(), 1)
+    table.add("working set / full map", "bounded",
+              f"{100 * frac:.0f} %", ok=frac < 0.7)
+    table.add("cache hit rate", "high (coherent drive)",
+              f"{100 * streaming.stats.hit_rate:.0f} %",
+              ok=streaming.stats.hit_rate > 0.5)
+    table.print()
+    assert table.all_ok()

@@ -1,0 +1,51 @@
+"""E3 — Massow et al. [28]: HD maps from vehicular probe data.
+
+Paper: 2.4 m accuracy with GPS-only probes, 1.9 m with additional sensor
+channels. Shape: both metre-level; the sensor-fused variant wins.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.creation import ProbeMapper
+from repro.eval import ResultTable
+from repro.sensors import ProbeGenerator
+from repro.world import drive_route, generate_highway
+
+
+def _experiment(rng):
+    import numpy as np
+
+    hw = generate_highway(rng, length=2000.0)
+    lane = next(iter(hw.lanes()))
+    # A small early-days probe fleet with realistic in-lane wander — the
+    # regime where the extra sensor channel actually pays (the paper's
+    # modest 2.4 -> 1.9 m gain).
+    trajectories = [drive_route(hw, lane.id, 1900.0, rng, lateral_sigma=0.6)
+                    for _ in range(4)]
+
+    seed = int(rng.integers(0, 2**31))
+    plain_traces = ProbeGenerator(with_sensors=False).generate_fleet(
+        hw, trajectories, np.random.default_rng(seed))
+    gps_only = ProbeMapper(hw, use_lane_sensor=False).build(plain_traces)
+
+    rich_traces = ProbeGenerator(with_sensors=True).generate_fleet(
+        hw, trajectories, np.random.default_rng(seed))
+    fused = ProbeMapper(hw, use_lane_sensor=True).build(rich_traces)
+    return gps_only, fused
+
+
+def test_e03_probe_data_maps(benchmark, rng):
+    gps_only, fused = once(benchmark, _experiment, rng)
+
+    table = ResultTable("E3", "probe-data map derivation [28]")
+    table.add("GPS-only error (m)", "2.4", f"{gps_only.centerline_error.mean:.2f}",
+              ok=0.2 < gps_only.centerline_error.mean < 4.0)
+    table.add("sensor-fused error (m)", "1.9", f"{fused.centerline_error.mean:.2f}",
+              ok=fused.centerline_error.mean
+              <= gps_only.centerline_error.mean)
+    table.add("lanes found (GPS-only)",
+              str(gps_only.lanes_true), str(gps_only.lanes_found),
+              ok=gps_only.lanes_found >= 1)
+    table.print()
+    assert table.all_ok()

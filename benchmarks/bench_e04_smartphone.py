@@ -1,0 +1,36 @@
+"""E4 — Szabó et al. [34]: smartphone-based HD map building.
+
+Paper: better than 3 m accuracy from phone GNSS/IMU + lane detection.
+Shape: mapped centerline beats raw phone GNSS and stays in the low metres.
+"""
+
+from conftest import once
+
+from repro.creation import SmartphoneMapper
+from repro.eval import ResultTable
+from repro.world import drive_route, generate_highway
+
+
+def _experiment(rng):
+    hw = generate_highway(rng, length=2500.0)
+    lane = next(iter(hw.lanes()))
+    traj = drive_route(hw, lane.id, 2400.0, rng)
+    with_cam = SmartphoneMapper(use_lane_detection=True).run(hw, traj, rng)
+    without = SmartphoneMapper(use_lane_detection=False).run(hw, traj, rng)
+    return with_cam, without
+
+
+def test_e04_smartphone_mapping(benchmark, rng):
+    with_cam, without = once(benchmark, _experiment, rng)
+
+    table = ResultTable("E4", "smartphone HD-map building [34]")
+    table.add("mapped error, camera+KF (m)", "< 3", f"{with_cam.error.median:.2f}",
+              ok=with_cam.error.median < 3.0)
+    table.add("raw phone GNSS (m)", "(worse)",
+              f"{with_cam.raw_gnss_error.mean:.2f}",
+              ok=with_cam.raw_gnss_error.mean > with_cam.error.median)
+    table.add("KF-only, no camera (m)", "(between)",
+              f"{without.error.median:.2f}",
+              ok=without.error.median >= with_cam.error.median * 0.8)
+    table.print()
+    assert table.all_ok()

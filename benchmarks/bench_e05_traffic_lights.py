@@ -1,0 +1,53 @@
+"""E5 — Hirabayashi et al. [33]: traffic-light recognition with HD-map
+features.
+
+Paper: 97 % average precision using map positions + SSD + inter-frame
+filter. Shape: the map ROI prior beats the no-map detector decisively;
+the inter-frame filter adds on top.
+"""
+
+from conftest import once
+
+import numpy as np
+
+from repro.creation import TrafficLightRecognizer
+from repro.eval import ResultTable
+from repro.world import drive_lane_sequence, generate_grid_city
+
+
+def _experiment(rng):
+    city = generate_grid_city(rng, 3, 3, block_size=180.0)
+    lanes = sorted([l for l in city.lanes() if l.length > 100],
+                   key=lambda l: -l.length)
+    results = {}
+    for key, recognizer in (
+        ("map+filter", TrafficLightRecognizer(city)),
+        ("map", TrafficLightRecognizer(city, use_interframe_filter=False)),
+        ("none", TrafficLightRecognizer(None)),
+    ):
+        local_rng = np.random.default_rng(7)
+        events = []
+        for lane in lanes[:4]:
+            traj = drive_lane_sequence(city, [lane.id], rng=local_rng)
+            events.extend(recognizer.run(city, traj, local_rng).events)
+        # Dataset-level AP over all drives (as the paper evaluates).
+        from repro.eval import average_precision
+
+        results[key] = average_precision([e.score for e in events],
+                                         [e.correct for e in events])
+    return results
+
+
+def test_e05_traffic_light_recognition(benchmark, rng):
+    results = once(benchmark, _experiment, rng)
+
+    table = ResultTable("E5", "map-prior traffic-light recognition [33]")
+    table.add("AP with map + inter-frame", "0.97",
+              f"{results['map+filter']:.3f}",
+              ok=results["map+filter"] > 0.8)
+    table.add("AP with map only", "(lower)", f"{results['map']:.3f}",
+              ok=results["map"] <= results["map+filter"] + 0.02)
+    table.add("AP without map", "(much lower)", f"{results['none']:.3f}",
+              ok=results["none"] < results["map+filter"])
+    table.print()
+    assert table.all_ok()

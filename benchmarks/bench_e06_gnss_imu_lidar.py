@@ -1,0 +1,39 @@
+"""E6 — Ilci & Toth [35]: survey-grade GNSS/IMU/LiDAR map creation.
+
+Paper: ~2 cm 3-D mapping accuracy from an RTK + LiDAR rig. Shape:
+centimetre-band landmark accuracy — the top of the accuracy ladder, an
+order of magnitude under any crowd pipeline.
+"""
+
+from conftest import once
+
+from repro.creation import CrowdMapper, SurveyRigMapper
+from repro.eval import ResultTable
+from repro.world import drive_route, generate_highway
+
+
+def _experiment(rng):
+    hw = generate_highway(rng, length=2000.0, sign_spacing=150.0,
+                          pole_spacing=100.0)
+    lane = next(iter(hw.lanes()))
+    traj = drive_route(hw, lane.id, 1900.0, rng)
+    survey = SurveyRigMapper().run(hw, traj, rng)
+    crowd_mapper = CrowdMapper()
+    crowd = crowd_mapper.fuse(
+        [crowd_mapper.collect(hw, drive_route(hw, lane.id, 1900.0, rng),
+                              v, rng) for v in range(10)], hw)
+    return survey, crowd
+
+
+def test_e06_survey_rig_mapping(benchmark, rng):
+    survey, crowd = once(benchmark, _experiment, rng)
+
+    table = ResultTable("E6", "GNSS/IMU/LiDAR survey mapping [35]")
+    table.add("survey-rig error (m)", "~0.02", f"{survey.error.mean:.3f}",
+              ok=survey.error.mean < 0.15)
+    table.add("vs crowd fleet (m)", "(much worse)", f"{crowd.error.mean:.3f}",
+              ok=crowd.error.mean > survey.error.mean * 2)
+    table.add("landmarks mapped", ">= 10", str(survey.matched),
+              ok=survey.matched >= 10)
+    table.print()
+    assert table.all_ok()

@@ -1,0 +1,47 @@
+"""E7 — Kim et al. [31]: crowd-sourced new feature layer on an existing map.
+
+Paper: centimetre-level accuracy for the new layer (vs few-metres with
+traditional GNSS georeferencing), because contributors localize against
+the accurate base map. Shape: map-relative registration an order of
+magnitude better than GNSS-absolute.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.creation import FeatureLayerMapper
+from repro.eval import ResultTable
+from repro.world import drive_lane_sequence, generate_grid_city
+
+
+def _experiment(rng):
+    city = generate_grid_city(rng, 3, 2, block_size=200.0)
+    lanes = [l for l in city.lanes() if l.length > 100]
+    trajs = [drive_lane_sequence(city, [lane.id], rng=rng)
+             for lane in lanes[:6] for _ in range(3)]
+
+    relative = FeatureLayerMapper(city, map_relative=True)
+    absolute = FeatureLayerMapper(city, map_relative=False)
+    rel_obs, abs_obs = [], []
+    for traj in trajs:
+        rel_obs.extend(relative.collect(city, traj, rng))
+        abs_obs.extend(absolute.collect(city, traj, rng))
+    return relative.fuse(rel_obs, city), absolute.fuse(abs_obs, city)
+
+
+def test_e07_feature_layers(benchmark, rng):
+    relative, absolute = once(benchmark, _experiment, rng)
+
+    table = ResultTable("E7", "crowd-sourced feature layers [31]")
+    table.add("map-relative layer error (m)", "cm-level",
+              f"{relative.error.mean:.3f}",
+              ok=(not np.isnan(relative.error.mean))
+              and relative.error.mean < 0.3)
+    table.add("GNSS-absolute layer error (m)", "metres",
+              f"{absolute.error.mean:.3f}",
+              ok=(not np.isnan(absolute.error.mean))
+              and absolute.error.mean > relative.error.mean * 2)
+    table.add("features mapped", ">= 3", str(relative.matched),
+              ok=relative.matched >= 3)
+    table.print()
+    assert table.all_ok()

@@ -1,0 +1,65 @@
+"""E13 — Yang et al. [62]: bidirectional hybrid path search (BHPS).
+
+Shape: both BHPS pairings return (near-)optimal lane-level routes while
+expanding fewer nodes than unidirectional Dijkstra, with the gap growing
+on larger maps.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.eval import ResultTable
+from repro.planning import LaneRouter, bhps_route
+from repro.world import generate_grid_city
+
+
+def _experiment(rng):
+    results = {}
+    for blocks in (3, 6):
+        city = generate_grid_city(rng, blocks, blocks, block_size=180.0,
+                                  with_lights=False)
+        router = LaneRouter(city)
+        lanes = [l for l in city.lanes() if l.length > 60]
+        pairs = [(lanes[0].id, lanes[-1].id),
+                 (lanes[len(lanes) // 3].id, lanes[-2].id),
+                 (lanes[1].id, lanes[2 * len(lanes) // 3].id)]
+        stats = {"dijkstra": [], "astar": [], "bhps_fwd": [], "bhps_rev": [],
+                 "cost_ratio": []}
+        for start, goal in pairs:
+            dij = router.route(start, goal)
+            ast = router.route_astar(start, goal)
+            fwd = bhps_route(router, start, goal, forward_bfs=True)
+            rev = bhps_route(router, start, goal, forward_bfs=False)
+            stats["dijkstra"].append(dij.stats.expansions)
+            stats["astar"].append(ast.stats.expansions)
+            stats["bhps_fwd"].append(fwd.stats.expansions)
+            stats["bhps_rev"].append(rev.stats.expansions)
+            stats["cost_ratio"].append(
+                min(fwd.cost, rev.cost) / max(dij.cost, 1e-9))
+        results[blocks] = {k: float(np.mean(v)) for k, v in stats.items()}
+    return results
+
+
+def test_e13_bhps(benchmark, rng):
+    results = once(benchmark, _experiment, rng)
+
+    table = ResultTable("E13", "bidirectional hybrid path search [62]")
+    small, large = results[3], results[6]
+    table.add("expansions (6x6): Dijkstra", "(baseline)",
+              f"{large['dijkstra']:.0f}", ok=None)
+    table.add("expansions (6x6): BHPS fwd-BFS", "(fewer)",
+              f"{large['bhps_fwd']:.0f}",
+              ok=large["bhps_fwd"] < large["dijkstra"])
+    table.add("expansions (6x6): BHPS fwd-Dijkstra", "(fewer)",
+              f"{large['bhps_rev']:.0f}",
+              ok=large["bhps_rev"] < large["dijkstra"])
+    table.add("route cost vs optimal", "~1.0",
+              f"{large['cost_ratio']:.3f}",
+              ok=large["cost_ratio"] <= 1.35)
+    saving_small = small["dijkstra"] / max(small["bhps_fwd"], 1.0)
+    saving_large = large["dijkstra"] / max(large["bhps_fwd"], 1.0)
+    table.add("saving grows with map", "yes",
+              f"{saving_small:.2f}x -> {saving_large:.2f}x",
+              ok=saving_large >= saving_small * 0.8)
+    table.print()
+    assert table.all_ok()

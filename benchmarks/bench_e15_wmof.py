@@ -1,0 +1,52 @@
+"""E15 — Chen et al. [19]: Weighted Mode Filter for Full-HD depth maps.
+
+Paper (VLSI): Full-HD upsampling at 43 fps with 5.4 KB on-chip memory.
+Shape: the tiled implementation matches the full-frame output bit-for-bit
+with a working set orders of magnitude below the full-frame buffers, and
+the filter beats nearest-neighbour on accuracy and outliers. (Software
+fps is incomparable to silicon; reported for the record.)
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.depthmap import WeightedModeFilter
+from repro.depthmap.wmof import nearest_neighbour_upsample
+from repro.eval import ResultTable
+from repro.sensors import make_depth_scene
+
+
+def _experiment(rng):
+    frame = make_depth_scene(rng, height=1080, width=1920, factor=4,
+                             noise_sigma=0.15)
+    wmof = WeightedModeFilter(tile_rows=16)
+    tiled_out, tiled_stats = wmof.upsample(frame, tiled=True)
+    full_out, full_stats = wmof.upsample(frame, tiled=False)
+    nn = nearest_neighbour_upsample(frame)
+    nn_mae = float(np.abs(nn - frame.depth_true).mean())
+    nn_outliers = float((np.abs(nn - frame.depth_true) > 1.0).mean())
+    identical = bool(np.allclose(tiled_out, full_out))
+    return tiled_stats, full_stats, nn_mae, nn_outliers, identical
+
+
+def test_e15_wmof(benchmark, rng):
+    tiled, full, nn_mae, nn_outliers, identical = once(
+        benchmark, _experiment, rng)
+
+    table = ResultTable("E15", "weighted mode filter, Full-HD [19]")
+    table.add("tiled == full output", "exact", str(identical), ok=identical)
+    kb = tiled.working_bytes / 1024.0
+    table.add("tiled working set (KB)", "5.4 (on-chip)", f"{kb:.1f}",
+              ok=kb < 600.0)
+    factor = full.working_bytes / tiled.working_bytes
+    table.add("vs full-frame buffers", ">> 1", f"{factor:.0f}x smaller",
+              ok=factor > 20)
+    table.add("MAE vs nearest-neighbour (m)", "(better)",
+              f"{tiled.mae:.3f} vs {nn_mae:.3f}", ok=tiled.mae < nn_mae)
+    table.add("outliers vs NN", "(fewer)",
+              f"{100 * tiled.outlier_fraction:.2f} % vs {100 * nn_outliers:.2f} %",
+              ok=tiled.outlier_fraction < nn_outliers)
+    table.add("software fps (Full-HD)", "43 (VLSI)", f"{tiled.fps:.2f}",
+              ok=None)
+    table.print()
+    assert table.all_ok()

@@ -1,0 +1,79 @@
+"""E17 — Liu et al. [43]: incremental map fusion with time decay.
+
+Paper: repeated-measurement fusion improves element position and semantic
+confidence; the time-decay term lets the map adapt to environmental
+change; unmatched elements are retained for future matching. Shape:
+position error shrinks with traversals; after a world shift, the decayed
+map accepts the new state faster than the no-decay baseline.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.core.ids import ElementId
+from repro.eval import ResultTable
+from repro.update import IncrementalFuser
+
+
+def _experiment(rng):
+    truth = np.array([50.0, 10.0])
+    meas_sigma = 0.5
+
+    fuser = IncrementalFuser()
+    eid = ElementId("sign", 1)
+    fuser.seed(eid, truth + rng.normal(0, 1.0, 2), 1.0, t=0.0)
+    error_curve = []
+    for k in range(15):
+        fuser.observe(truth + rng.normal(0, meas_sigma, 2), meas_sigma,
+                      t=float(k * 10))
+        error_curve.append(float(np.hypot(
+            *(fuser.elements[eid].position - truth))))
+
+    # World shift: the sign moves 6 m; compare adaptation with/without decay.
+    def adapt(use_decay: bool) -> int:
+        local = IncrementalFuser(use_time_decay=use_decay,
+                                 decay_per_second=0.004,
+                                 promote_after=3)
+        e = ElementId("sign", 2)
+        local.seed(e, truth, 0.2, t=0.0, confidence=1.0)
+        for k in range(10):
+            local.observe(truth + rng.normal(0, 0.2, 2), 0.2, t=float(k * 10))
+        moved = truth + np.array([6.0, 0.0])
+        steps = 0
+        # Long gap, then the new reality streams in.
+        t0 = 500.0
+        for k in range(40):
+            t = t0 + k * 10.0
+            local.miss(e, t)
+            local.observe(moved + rng.normal(0, 0.2, 2), 0.2, t)
+            local.prune()
+            steps += 1
+            has_new = any(
+                np.hypot(*(el.position - moved)) < 1.0
+                and el.confidence >= 0.5
+                for el in local.elements.values())
+            old_gone = e not in local.elements
+            if has_new and old_gone:
+                return steps
+        return steps
+
+    return error_curve, adapt(True), adapt(False)
+
+
+def test_e17_incremental_fusion(benchmark, rng):
+    error_curve, steps_decay, steps_no_decay = once(benchmark, _experiment,
+                                                    rng)
+
+    table = ResultTable("E17", "incremental fusion with time decay [43]")
+    table.add("error after 1 obs (m)", "(higher)", f"{error_curve[0]:.2f}",
+              ok=None)
+    table.add("error after 15 obs (m)", "(lower)", f"{error_curve[-1]:.2f}",
+              ok=error_curve[-1] < error_curve[0])
+    table.add("converged below sigma", "yes", f"{error_curve[-1]:.2f} < 0.5",
+              ok=error_curve[-1] < 0.5)
+    table.add("traversals to adapt (decay)", "(faster)", str(steps_decay),
+              ok=steps_decay <= steps_no_decay)
+    table.add("traversals to adapt (no decay)", "(slower)",
+              str(steps_no_decay), ok=None)
+    table.print()
+    assert table.all_ok()

@@ -1,0 +1,78 @@
+"""E19 — Hery et al. [55]: decentralized cooperative localization.
+
+Paper: LDM exchange between vehicles improves consistency and accuracy;
+the HD-map-anchored bias estimator removes common GNSS bias. Shape:
+cooperative < standalone error; bias estimator adds a further gain.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.eval import ResultTable
+from repro.localization import CooperativeLocalizer
+from repro.sensors.gnss import GnssFix
+
+
+def _run_convoy(rng, cooperate: bool, use_bias: bool, steps: int = 40):
+    truth = [np.array([0.0, 0.0]), np.array([25.0, 3.5]),
+             np.array([50.0, 0.0])]
+    speed = np.array([15.0, 0.0])
+    biases = [rng.normal(0, 1.2, 2) for _ in truth]
+    landmark = np.array([100.0, 8.0])  # geo-referenced HD-map feature
+    locs = [CooperativeLocalizer(i, truth[i] + rng.normal(0, 2.0, 2),
+                                 use_bias_estimator=use_bias)
+            for i in range(len(truth))]
+    dt = 0.5
+    for step in range(steps):
+        truth = [t + speed * dt for t in truth]
+        landmark = landmark + speed * dt * 0  # static feature
+        for i, loc in enumerate(locs):
+            loc.predict(speed * dt, 0.1)
+            raw = truth[i] + biases[i] + rng.normal(0, 0.5, 2)
+            fix = GnssFix(step * dt, raw, 1.3)
+            if use_bias and float(np.hypot(*(landmark - truth[i]))) < 60.0:
+                offset = (landmark - truth[i]) + rng.normal(0, 0.1, 2)
+                loc.observe_map_feature(raw, offset, landmark)
+            loc.update_gnss(fix)
+        if cooperate:
+            for i, sender in enumerate(locs):
+                for j, receiver in enumerate(locs):
+                    if i != j:
+                        rel = truth[j] - truth[i]
+                        receiver.receive(sender.broadcast(rel, 0.2, rng, j))
+    return float(np.mean([loc.error_to(truth[i])
+                          for i, loc in enumerate(locs)]))
+
+
+def _experiment(rng):
+    seeds = [int(rng.integers(0, 2**31)) for _ in range(6)]
+
+    def mean_over_seeds(cooperate, use_bias):
+        return float(np.mean([
+            _run_convoy(np.random.default_rng(s), cooperate, use_bias)
+            for s in seeds
+        ]))
+
+    return {
+        "standalone": mean_over_seeds(False, False),
+        "cooperative": mean_over_seeds(True, False),
+        "cooperative+bias": mean_over_seeds(True, True),
+    }
+
+
+def test_e19_cooperative_localization(benchmark, rng):
+    results = once(benchmark, _experiment, rng)
+
+    table = ResultTable("E19", "cooperative localization with LDMs [55]")
+    table.add("standalone error (m)", "(baseline)",
+              f"{results['standalone']:.2f}", ok=None)
+    table.add("cooperative error (m)", "(better)",
+              f"{results['cooperative']:.2f}",
+              ok=results["cooperative"] <= results["standalone"] * 1.05)
+    table.add("cooperative + bias estimator (m)", "(best)",
+              f"{results['cooperative+bias']:.2f}",
+              ok=results["cooperative+bias"] < results["standalone"])
+    gain = results["standalone"] - results["cooperative+bias"]
+    table.add("total gain (m)", "> 0", f"{gain:.2f}", ok=gain > 0.1)
+    table.print()
+    assert table.all_ok()

@@ -1,0 +1,64 @@
+"""F2 — Figure 2 / SLAMCU [41]: position-error histogram of new map
+features + change-estimation accuracy.
+
+Paper (20 km highway, traffic signs): mean position error 0.8 m, sigma
+0.9 m, 96.12 % change accuracy; Figure 2 is the right-skewed unimodal
+error histogram. Shape: ~1 m mean error, high change accuracy, histogram
+mode in the sub-1 m bins.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.eval import ResultTable, error_histogram
+from repro.eval.harness import render_histogram
+from repro.update import Slamcu
+from repro.world import ChangeSpec, apply_changes, drive_route, generate_highway
+
+
+def _experiment(rng):
+    hw = generate_highway(rng, length=20000.0, sign_spacing=250.0,
+                          pole_spacing=500.0)
+    scenario = apply_changes(hw, ChangeSpec(add_signs=12, remove_signs=8),
+                             rng)
+    lanes = list(scenario.reality.lanes())
+    trajectories = [
+        drive_route(scenario.reality, lanes[0].id, 19500.0, rng, dt=0.2),
+        drive_route(scenario.reality, lanes[2].id, 19500.0, rng, dt=0.2),
+    ]
+    slamcu = Slamcu(scenario.prior.copy(), localization_sigma=0.35,
+                    new_feature_min_obs=3)
+    report = slamcu.run(scenario, trajectories, rng, frame_dt=0.5)
+    return scenario, report
+
+
+def test_fig2_slamcu_error_histogram(benchmark, rng):
+    scenario, report = once(benchmark, _experiment, rng)
+    errors = report.new_feature_errors
+
+    print()
+    print("SLAMCU position error of estimated new map features "
+          "(regenerates Figure 2):")
+    if report.position_errors:
+        counts, edges = error_histogram(report.position_errors,
+                                        bin_width=0.25, max_value=3.0)
+        print(render_histogram(counts, edges))
+        mode_bin = int(np.argmax(counts))
+        mode_ok = edges[mode_bin] < 1.0  # mode in the sub-metre bins
+    else:
+        mode_ok = False
+
+    table = ResultTable("F2", "SLAMCU map-change update [41]")
+    table.add("new-feature mean error (m)", "0.8", f"{errors.mean:.2f}",
+              ok=(not np.isnan(errors.mean)) and errors.mean < 1.6)
+    table.add("new-feature error sigma (m)", "0.9", f"{errors.std:.2f}",
+              ok=errors.std < 1.8)
+    table.add("histogram mode", "sub-metre bin", "sub-metre bin" if mode_ok
+              else "above 1 m", ok=mode_ok)
+    table.add("change accuracy", "96.12 %",
+              f"{100 * report.change_accuracy:.1f} %",
+              ok=report.change_accuracy > 0.7)
+    table.add("true changes", str(scenario.n_changes),
+              f"{len(report.detected_changes)} detected", ok=None)
+    table.print()
+    assert table.all_ok()

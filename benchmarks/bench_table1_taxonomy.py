@@ -1,0 +1,36 @@
+"""T1 — Table I: taxonomy of the presented techniques.
+
+Regenerates the survey's Table I (two categories, eight sub-areas with
+their reference lists) and verifies that this library implements every
+sub-area (all mapped modules import and expose their entry points).
+"""
+
+from conftest import once
+
+from repro import taxonomy
+from repro.eval import ResultTable
+
+
+def _coverage():
+    return taxonomy.coverage()
+
+
+def test_table1_taxonomy(benchmark):
+    coverage = once(benchmark, _coverage)
+
+    print()
+    print(taxonomy.render_table())
+
+    table = ResultTable("T1", "Table I taxonomy coverage")
+    cats = taxonomy.by_category()
+    table.add("categories", "2", str(len(cats)), ok=len(cats) == 2)
+    table.add("sub-areas", "8", str(len(taxonomy.TABLE_I)),
+              ok=len(taxonomy.TABLE_I) == 8)
+    n_refs = sum(len(a.references) for a in taxonomy.TABLE_I)
+    table.add("referenced techniques", ">= 50", str(n_refs), ok=n_refs >= 50)
+    implemented = sum(coverage.values())
+    table.add("sub-areas implemented", "8/8",
+              f"{implemented}/{len(coverage)}",
+              ok=implemented == len(coverage))
+    table.print()
+    assert table.all_ok()

@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one artifact of the paper (table, figure, or an
+in-text quantitative claim) on the synthetic substrate and prints a
+ResultTable pairing the paper's value with the measured one. Benches
+assert *shape* (orderings, rough factors), never exact numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20240704)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

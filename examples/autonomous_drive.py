@@ -1,0 +1,85 @@
+"""A full autonomous-driving stack on the HD map.
+
+Localization (LiDAR landmark PF) + perception (HDNET map priors) + lane-
+level planning (Frenet path sets) running together over a highway drive —
+the machine-consumer loop the survey's introduction motivates.
+
+Run:  python examples/autonomous_drive.py
+"""
+
+import numpy as np
+
+from repro import generate_highway
+from repro.geometry.transform import SE2
+from repro.localization import LandmarkLocalizer, detect_hrl
+from repro.perception import HdnetDetector
+from repro.planning import PathSetPlanner
+from repro.sensors import LidarScanner, WheelOdometry
+from repro.sensors.lidar import Obstacle
+from repro.world import drive_route
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    hw = generate_highway(rng, length=3000.0, pole_spacing=70.0)
+    lane = next(iter(hw.lanes()))
+    truth = drive_route(hw, lane.id, 1500.0, rng)
+    odometry = WheelOdometry().measure(truth, rng)
+    scanner = LidarScanner()
+
+    # Stack components, all sharing the one HD map.
+    localizer = LandmarkLocalizer(hw, rng)
+    p0 = truth.pose_at(truth.start_time)
+    localizer.initialize(SE2(p0.x + 2.0, p0.y - 1.0, p0.theta))
+    perception = HdnetDetector(hw, mode="map")
+    planner = PathSetPlanner(lane.centerline)
+
+    print("t(s)   loc-err(m)  objects  plan-offset(m)")
+    for i, delta in enumerate(odometry[:300]):
+        localizer.predict(delta.ds, delta.dtheta)
+        true_pose = truth.pose_at(delta.t)
+
+        if i % 10 == 0:
+            # A slower vehicle ahead in our lane.
+            s_true, _ = lane.centerline.project(
+                np.array([true_pose.x, true_pose.y]))
+            obstacle_s = s_true + 40.0
+            obstacle = Obstacle(
+                position=lane.centerline.point_at(obstacle_s),
+                radius=1.0, reflectivity=0.45)
+            scan = scanner.scan(hw, true_pose, rng, obstacles=[obstacle])
+
+            # Localize against the map's reflective landmarks.
+            localizer.update(detect_hrl(scan))
+            estimate = localizer.estimate()
+
+            # Perceive with map priors (mapped furniture suppressed).
+            detections = perception.detect(scan, estimate)
+
+            # Plan around whatever perception reports, in lane coordinates.
+            s_est, d_est = lane.centerline.project(
+                np.array([estimate.x, estimate.y]))
+            obstacles_frenet = []
+            for det in detections:
+                s_ob, d_ob = lane.centerline.project(det.position)
+                if det.score > 0.3:
+                    obstacles_frenet.append((s_ob, d_ob))
+            try:
+                path = planner.plan(s_est, d_est, obstacles_frenet)
+                offset = path.terminal_offset
+            except Exception:
+                offset = float("nan")
+
+            err = localizer.estimate().distance_to(true_pose)
+            print(f"{delta.t:5.1f}  {err:9.2f}  {len(detections):7d}  "
+                  f"{offset:13.1f}")
+
+    final_error = localizer.estimate().distance_to(
+        truth.pose_at(odometry[299].t))
+    print(f"\nfinal localization error: {final_error:.2f} m")
+    print("the planner swings laterally (plan-offset) whenever perception "
+          "reports the lead vehicle inside the horizon")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Rule-aware city driving: the regulatory layer in the loop.
+
+A vehicle rolls through the grid city under the behavior planner: it
+cruises at the mapped speed limit, brakes for red lights the HD map says
+are ahead, waits out the red phase, and follows slower traffic — while the
+map itself is served tile-by-tile from a bounded streaming working set.
+
+Run:  python examples/city_drive.py
+"""
+
+import numpy as np
+
+from repro import generate_grid_city
+from repro.planning import BehaviorPlanner, BehaviorState, simulate_approach
+from repro.storage import StreamingMap, TileStore
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    city = generate_grid_city(rng, blocks_x=4, blocks_y=3, block_size=220.0)
+
+    # Serve the map as streamed tiles (bounded memory), query it normally.
+    store = TileStore.build(city, tile_size=250.0)
+    streaming = StreamingMap(store, max_tiles=6)
+    print(f"map sharded into {len(store.tiles())} tiles "
+          f"({store.total_bytes() / 1024:.0f} KB total); "
+          f"working set capped at 6 tiles")
+
+    planner = BehaviorPlanner(city)
+    lanes = [l for l in city.lanes() if l.length > 120]
+    lane = lanes[0]
+    print(f"\ndriving {lane.id} ({lane.length:.0f} m, "
+          f"limit {lane.speed_limit * 3.6:.0f} km/h)\n")
+
+    history = simulate_approach(planner, lane.id, t0=2.0,
+                                initial_speed=10.0)
+    last_state = None
+    for s, v, decision in history:
+        if decision.state is not last_state:
+            print(f"  s={s:6.1f} m  v={v:5.1f} m/s  -> {decision.state.value}"
+                  f"  ({decision.reason})")
+            last_state = decision.state
+
+    stopped = min(v for _, v, _ in history)
+    light_stops = sum(1 for _, _, d in history
+                      if d.state is BehaviorState.STOPPING_LIGHT)
+    print(f"\nminimum speed {stopped:.1f} m/s over the drive; "
+          f"{light_stops} planner ticks spent handling traffic lights")
+
+    # Replay the drive against the streamed map: every perception query is
+    # answered out of the bounded tile cache.
+    n_landmarks = 0
+    for s, _, _ in history[::5]:
+        point = lane.centerline.point_at(min(s, lane.length))
+        n_landmarks += len(streaming.landmarks_in_radius(
+            float(point[0]), float(point[1]), 60.0))
+    print(f"streamed perception queries: {n_landmarks} landmark hits, "
+          f"cache hit rate {100 * streaming.stats.hit_rate:.0f} %, "
+          f"{len(streaming.resident_tiles())} tiles resident")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: build a world, query the map, plan a route, drive it.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import LaneRouter, generate_grid_city, validate_map
+from repro.core import Severity
+from repro.world import drive_lane_sequence
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. A ground-truth urban HD map: lanes, boundaries, signs, lights,
+    #    crosswalks, turn connectors — all linked and spatially indexed.
+    city = generate_grid_city(rng, blocks_x=4, blocks_y=3, block_size=200.0)
+    print(f"built {city}")
+    print(f"  element counts: {city.counts_by_kind()}")
+    print(f"  total lane length: {city.total_lane_length() / 1000:.1f} km")
+
+    # 2. Integrity validation (the checks a map provider runs before
+    #    publication).
+    issues = validate_map(city)
+    errors = [i for i in issues if i.severity is Severity.ERROR]
+    print(f"  validation: {len(errors)} errors, "
+          f"{len(issues) - len(errors)} warnings")
+
+    # 3. Spatial queries: what is around a point?
+    x, y = 200.0, 200.0
+    lane, dist = city.nearest_lane(x, y)
+    print(f"\nnearest lane to ({x:.0f}, {y:.0f}): {lane.id} "
+          f"({dist:.1f} m away, limit {lane.speed_limit * 3.6:.0f} km/h)")
+    landmarks = city.landmarks_in_radius(x, y, 50.0)
+    print(f"  {len(landmarks)} landmarks within 50 m")
+
+    # 4. Lane-level routing over the topological layer.
+    router = LaneRouter(city)
+    lanes = [l for l in city.lanes() if l.length > 60]
+    route = router.route_astar(lanes[0].id, lanes[-1].id)
+    print(f"\nroute: {route.n_lanes} lanes, {route.cost:.0f} m cost, "
+          f"{route.stats.expansions} nodes expanded")
+
+    # 5. Human-readable guidance for the same lane-level route.
+    from repro.planning import describe_route, render_guidance
+
+    print("\nguidance:")
+    print(render_guidance(describe_route(city, route)))
+
+    # 6. Drive the first stretch of the route and report the track.
+    trajectory = drive_lane_sequence(city, route.lane_ids[:3], rng=rng)
+    print(f"\ndrove {trajectory.path_length():.0f} m "
+          f"in {trajectory.duration:.0f} s "
+          f"({len(trajectory)} trajectory samples)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` / `setup.py develop` work on environments
+without the `wheel` package (no-network build hosts)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""hdmaps — a working reproduction of the HD-map ecosystem surveyed in
+*On the Ecosystem of High-Definition (HD) Maps* (ICDE 2024).
+
+The library is organized along the survey's own taxonomy (Table I):
+
+- **Design and construction**: :mod:`repro.core` (the layered map model),
+  :mod:`repro.creation` (every surveyed creation pipeline),
+  :mod:`repro.update` (every maintenance/update pipeline);
+- **Applications**: :mod:`repro.localization`, :mod:`repro.pose`,
+  :mod:`repro.planning`, :mod:`repro.perception`, :mod:`repro.atv`;
+- **Substrates**: :mod:`repro.geometry`, :mod:`repro.world` (ground-truth
+  generator), :mod:`repro.sensors` (noise-modelled synthetic sensors),
+  :mod:`repro.storage`, :mod:`repro.depthmap`, :mod:`repro.eval`.
+
+Quick start::
+
+    import numpy as np
+    from repro import HDMap, generate_grid_city, LaneRouter
+
+    rng = np.random.default_rng(0)
+    city = generate_grid_city(rng)
+    router = LaneRouter(city)
+    lanes = list(city.lanes())
+    route = router.route_astar(lanes[0].id, lanes[-1].id)
+"""
+
+from repro.core import (
+    BoundaryType,
+    ChangeType,
+    ElementId,
+    HDMap,
+    Lane,
+    LaneBoundary,
+    LaneType,
+    MapChange,
+    MapPatch,
+    RoadSegment,
+    SignType,
+    TrafficLight,
+    TrafficSign,
+    VersionedMap,
+    diff_maps,
+    validate_map,
+)
+from repro.geometry import SE2, SE3, Polyline
+from repro.planning import LaneRouter
+from repro.world import (
+    ChangeSpec,
+    Scenario,
+    WorldBuilder,
+    apply_changes,
+    generate_factory_floor,
+    generate_grid_city,
+    generate_highway,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundaryType",
+    "ChangeSpec",
+    "ChangeType",
+    "ElementId",
+    "HDMap",
+    "Lane",
+    "LaneBoundary",
+    "LaneRouter",
+    "LaneType",
+    "MapChange",
+    "MapPatch",
+    "Polyline",
+    "RoadSegment",
+    "SE2",
+    "SE3",
+    "Scenario",
+    "SignType",
+    "TrafficLight",
+    "TrafficSign",
+    "VersionedMap",
+    "WorldBuilder",
+    "apply_changes",
+    "diff_maps",
+    "generate_factory_floor",
+    "generate_grid_city",
+    "generate_highway",
+    "validate_map",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Log-odds occupancy grid for indoor mapping."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.raster import GridSpec
+
+L_OCCUPIED = 0.85
+L_FREE = -0.4
+L_MIN, L_MAX = -4.0, 4.0
+
+
+class OccupancyGrid:
+    """A probabilistic occupancy map updated from range observations."""
+
+    def __init__(self, spec: GridSpec) -> None:
+        self.spec = spec
+        self.log_odds = np.zeros((spec.height, spec.width))
+
+    def probability(self) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-self.log_odds))
+
+    def occupied_mask(self, threshold: float = 0.65) -> np.ndarray:
+        return self.probability() >= threshold
+
+    # ------------------------------------------------------------------
+    def integrate_ray(self, origin: np.ndarray, hit: np.ndarray,
+                      hit_occupied: bool = True) -> None:
+        """Mark cells along origin->hit free, the hit cell occupied."""
+        cells = self._traverse(origin, hit)
+        if cells.shape[0] == 0:
+            return
+        for col, row in cells[:-1]:
+            if 0 <= row < self.spec.height and 0 <= col < self.spec.width:
+                self.log_odds[row, col] = np.clip(
+                    self.log_odds[row, col] + L_FREE, L_MIN, L_MAX)
+        col, row = cells[-1]
+        if hit_occupied and 0 <= row < self.spec.height and 0 <= col < self.spec.width:
+            self.log_odds[row, col] = np.clip(
+                self.log_odds[row, col] + L_OCCUPIED, L_MIN, L_MAX)
+
+    def _traverse(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Cells visited along the segment (simple supersampling walk)."""
+        length = float(np.hypot(*(b - a)))
+        n = max(2, int(length / (self.spec.resolution * 0.5)))
+        t = np.linspace(0.0, 1.0, n)
+        pts = a[None, :] + t[:, None] * (b - a)[None, :]
+        cells = self.spec.world_to_cell(pts)
+        # Deduplicate consecutive repeats.
+        keep = np.ones(cells.shape[0], dtype=bool)
+        keep[1:] = np.any(cells[1:] != cells[:-1], axis=1)
+        return cells[keep]
+
+    def occupancy_agreement(self, other: "OccupancyGrid",
+                            threshold: float = 0.65) -> float:
+        """IoU of occupied cells against another grid (same spec)."""
+        mine = self.occupied_mask(threshold)
+        theirs = other.occupied_mask(threshold)
+        union = np.logical_or(mine, theirs).sum()
+        if union == 0:
+            return 1.0
+        return float(np.logical_and(mine, theirs).sum() / union)

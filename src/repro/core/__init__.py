@@ -1,0 +1,83 @@
+"""The paper's primary subject: the layered HD-map data model.
+
+Public surface:
+
+- :class:`HDMap` — layered, spatially indexed map container;
+- element types (:class:`Lane`, :class:`LaneBoundary`, :class:`RoadSegment`,
+  signs/lights/poles/crosswalks/stop lines/markings);
+- :class:`RegulatoryElement` — traffic rules (relational layer);
+- change records and diffing, patches and versioning, tiling, validation.
+"""
+
+from repro.core.changes import ChangeLog, ChangeType, MapChange, diff_maps, match_changes
+from repro.core.elements import (
+    BoundaryType,
+    Crosswalk,
+    Kind,
+    Lane,
+    LaneBoundary,
+    LaneType,
+    LightState,
+    MapElement,
+    Node,
+    PointLandmark,
+    Pole,
+    RoadMarking,
+    RoadSegment,
+    SignType,
+    StopLine,
+    TrafficLight,
+    TrafficSign,
+)
+from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId, IdAllocator
+from repro.core.regulatory import RegulatoryElement, RuleType
+from repro.core.tiles import TileId, TileScheme
+from repro.core.validation import Severity, ValidationIssue, validate_map
+from repro.core.versioning import (
+    AddElement,
+    MapPatch,
+    RemoveElement,
+    ReplaceElement,
+    VersionedMap,
+)
+
+__all__ = [
+    "BoundaryType",
+    "ChangeLog",
+    "ChangeType",
+    "Crosswalk",
+    "ElementId",
+    "HDMap",
+    "IdAllocator",
+    "Kind",
+    "Lane",
+    "LaneBoundary",
+    "LaneType",
+    "LightState",
+    "MapChange",
+    "MapElement",
+    "MapPatch",
+    "Node",
+    "PointLandmark",
+    "Pole",
+    "RegulatoryElement",
+    "RoadMarking",
+    "RoadSegment",
+    "RuleType",
+    "Severity",
+    "SignType",
+    "StopLine",
+    "TileId",
+    "TileScheme",
+    "TrafficLight",
+    "TrafficSign",
+    "ValidationIssue",
+    "VersionedMap",
+    "AddElement",
+    "RemoveElement",
+    "ReplaceElement",
+    "diff_maps",
+    "match_changes",
+    "validate_map",
+]

@@ -1,0 +1,44 @@
+"""Regulatory elements: traffic rules bound to lanes.
+
+This is the *relational* glue of Lanelet2's middle layer [20]: rules are
+first-class elements that reference the lanes they govern and the physical
+elements (signs, lights, stop lines) that evidence them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.ids import ElementId
+
+
+class RuleType(enum.Enum):
+    SPEED_LIMIT = "speed_limit"
+    RIGHT_OF_WAY = "right_of_way"
+    TRAFFIC_LIGHT = "traffic_light"
+    STOP = "stop"
+    NO_OVERTAKING = "no_overtaking"
+
+
+@dataclass
+class RegulatoryElement:
+    """A traffic rule: applies to ``lanes``, evidenced by ``evidence``.
+
+    ``value`` carries the rule parameter (speed limit in m/s for
+    SPEED_LIMIT; unused otherwise). ``yields_to`` lists lanes with priority
+    for RIGHT_OF_WAY rules.
+    """
+
+    id: ElementId
+    rule_type: RuleType
+    lanes: List[ElementId] = field(default_factory=list)
+    evidence: List[ElementId] = field(default_factory=list)
+    value: Optional[float] = None
+    yields_to: List[ElementId] = field(default_factory=list)
+
+    def bounds(self) -> Tuple[float, float, float, float]:
+        # Regulatory elements have no geometry of their own; they are
+        # indexed through the lanes they attach to.
+        raise NotImplementedError("regulatory elements are not spatially indexed")

@@ -1,0 +1,73 @@
+"""Map tiling: fixed-size square tiles over the map extent.
+
+Tiling serves two surveyed needs: scalable update workloads ("partitioning
+the workload and aggregating results from smaller areas", Pannen et al.
+[44]) and streaming/storage locality for the enormous map sizes the survey
+flags as an open data-management problem [73].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.elements import MapElement
+from repro.core.hdmap import HDMap
+
+
+@dataclass(frozen=True, order=True)
+class TileId:
+    """Integer tile coordinates at a given tile size."""
+
+    tx: int
+    ty: int
+
+    def __str__(self) -> str:
+        return f"tile({self.tx},{self.ty})"
+
+
+class TileScheme:
+    """Partition of the plane into ``tile_size``-metre squares."""
+
+    def __init__(self, tile_size: float = 500.0) -> None:
+        if tile_size <= 0:
+            raise ValueError("tile_size must be positive")
+        self.tile_size = float(tile_size)
+
+    def tile_of(self, x: float, y: float) -> TileId:
+        return TileId(int(np.floor(x / self.tile_size)),
+                      int(np.floor(y / self.tile_size)))
+
+    def tile_bounds(self, tile: TileId) -> Tuple[float, float, float, float]:
+        x0 = tile.tx * self.tile_size
+        y0 = tile.ty * self.tile_size
+        return (x0, y0, x0 + self.tile_size, y0 + self.tile_size)
+
+    def tiles_for_bounds(self, bounds: Tuple[float, float, float, float]
+                         ) -> List[TileId]:
+        min_x, min_y, max_x, max_y = bounds
+        t0 = self.tile_of(min_x, min_y)
+        t1 = self.tile_of(max_x, max_y)
+        return [
+            TileId(tx, ty)
+            for tx in range(t0.tx, t1.tx + 1)
+            for ty in range(t0.ty, t1.ty + 1)
+        ]
+
+    def partition(self, hdmap: HDMap) -> Dict[TileId, List[MapElement]]:
+        """Assign every spatial element to the tile of its bounds centre."""
+        assignment: Dict[TileId, List[MapElement]] = {}
+        for element in hdmap.elements():
+            try:
+                min_x, min_y, max_x, max_y = element.bounds()
+            except NotImplementedError:
+                continue  # regulatory elements are not spatial
+            tile = self.tile_of((min_x + max_x) / 2.0, (min_y + max_y) / 2.0)
+            assignment.setdefault(tile, []).append(element)
+        return assignment
+
+    def coverage(self, hdmap: HDMap) -> List[TileId]:
+        """All tiles intersected by the map's bounds."""
+        return self.tiles_for_bounds(hdmap.bounds())

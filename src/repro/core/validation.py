@@ -1,0 +1,194 @@
+"""Map integrity validation.
+
+The survey notes that "satisfying the basic needs cannot ensure the quality
+of HD maps" [3] — creation pipelines make mistakes, so a map is checked
+before publication. ``validate_map`` runs every registered check and
+returns a list of :class:`ValidationIssue`; ``raise_on_error=True`` turns
+errors into :class:`~repro.errors.MapValidationError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.elements import Lane, LaneBoundary, RoadSegment
+from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId
+from repro.errors import MapValidationError
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    severity: Severity
+    check: str
+    element_id: Optional[ElementId]
+    message: str
+
+    def __str__(self) -> str:
+        where = f" [{self.element_id}]" if self.element_id else ""
+        return f"{self.severity.value}:{self.check}{where}: {self.message}"
+
+
+Check = Callable[[HDMap], Iterator[ValidationIssue]]
+
+# Physical plausibility limits.
+MIN_LANE_WIDTH = 2.0
+MAX_LANE_WIDTH = 7.0
+MAX_SPEED_LIMIT = 42.0  # m/s ~ 150 km/h
+
+
+def _check_lane_references(hdmap: HDMap) -> Iterator[ValidationIssue]:
+    """Lanes must reference boundaries and segments that exist."""
+    for lane in hdmap.lanes():
+        for ref, label in ((lane.left_boundary, "left_boundary"),
+                           (lane.right_boundary, "right_boundary"),
+                           (lane.segment, "segment")):
+            if ref is not None and ref not in hdmap:
+                yield ValidationIssue(
+                    Severity.ERROR, "lane_references", lane.id,
+                    f"{label} {ref} does not exist",
+                )
+
+
+def _check_lane_geometry(hdmap: HDMap) -> Iterator[ValidationIssue]:
+    for lane in hdmap.lanes():
+        if not (MIN_LANE_WIDTH <= lane.width <= MAX_LANE_WIDTH):
+            yield ValidationIssue(
+                Severity.ERROR, "lane_geometry", lane.id,
+                f"implausible lane width {lane.width:.2f} m",
+            )
+        if lane.length < 1.0:
+            yield ValidationIssue(
+                Severity.WARNING, "lane_geometry", lane.id,
+                f"very short lane ({lane.length:.2f} m)",
+            )
+        if not (0.0 < lane.speed_limit <= MAX_SPEED_LIMIT):
+            yield ValidationIssue(
+                Severity.ERROR, "lane_geometry", lane.id,
+                f"implausible speed limit {lane.speed_limit:.1f} m/s",
+            )
+
+
+def _check_boundary_consistency(hdmap: HDMap) -> Iterator[ValidationIssue]:
+    """Boundaries referenced by a lane should flank its centerline."""
+    for lane in hdmap.lanes():
+        mid = lane.centerline.point_at(lane.length / 2.0)
+        for ref, expect_left in ((lane.left_boundary, True),
+                                 (lane.right_boundary, False)):
+            if ref is None or ref not in hdmap:
+                continue
+            boundary = hdmap.get(ref)
+            if not isinstance(boundary, LaneBoundary):
+                yield ValidationIssue(
+                    Severity.ERROR, "boundary_consistency", lane.id,
+                    f"{ref} is not a LaneBoundary",
+                )
+                continue
+            mid_b = boundary.line.point_at(boundary.line.length / 2.0)
+            _, lateral = lane.centerline.project(mid_b)
+            if expect_left and lateral < 0:
+                yield ValidationIssue(
+                    Severity.WARNING, "boundary_consistency", lane.id,
+                    f"left boundary {ref} lies to the right of the centerline",
+                )
+            if not expect_left and lateral > 0:
+                yield ValidationIssue(
+                    Severity.WARNING, "boundary_consistency", lane.id,
+                    f"right boundary {ref} lies to the left of the centerline",
+                )
+
+
+def _check_segment_bundles(hdmap: HDMap) -> Iterator[ValidationIssue]:
+    """Segment lane bundles must reference existing lanes that point back."""
+    for segment in hdmap.segments():
+        for lane_id in list(segment.forward_lanes) + list(segment.backward_lanes):
+            if lane_id not in hdmap:
+                yield ValidationIssue(
+                    Severity.ERROR, "segment_bundles", segment.id,
+                    f"bundle references missing lane {lane_id}",
+                )
+                continue
+            lane = hdmap.get(lane_id)
+            if isinstance(lane, Lane) and lane.segment != segment.id:
+                yield ValidationIssue(
+                    Severity.WARNING, "segment_bundles", segment.id,
+                    f"lane {lane_id} does not point back to this segment",
+                )
+        for node_ref in (segment.start_node, segment.end_node):
+            if node_ref is not None and node_ref not in hdmap:
+                yield ValidationIssue(
+                    Severity.ERROR, "segment_bundles", segment.id,
+                    f"missing node {node_ref}",
+                )
+
+
+def _check_connectivity(hdmap: HDMap) -> Iterator[ValidationIssue]:
+    """Warn about dead-end lanes (no successor), excluding map boundary."""
+    try:
+        min_x, min_y, max_x, max_y = hdmap.bounds()
+    except Exception:
+        return
+    margin = 30.0
+    for lane in hdmap.lanes():
+        if hdmap.successors(lane.id):
+            continue
+        ex, ey = lane.centerline.end
+        at_edge = (
+            ex < min_x + margin or ex > max_x - margin
+            or ey < min_y + margin or ey > max_y - margin
+        )
+        if not at_edge:
+            yield ValidationIssue(
+                Severity.WARNING, "connectivity", lane.id,
+                "interior lane has no successor",
+            )
+
+
+def _check_regulatory(hdmap: HDMap) -> Iterator[ValidationIssue]:
+    for rule in hdmap.regulatory_elements():
+        for lane_id in rule.lanes:
+            if lane_id not in hdmap:
+                yield ValidationIssue(
+                    Severity.ERROR, "regulatory", rule.id,
+                    f"rule governs missing lane {lane_id}",
+                )
+        for ev in rule.evidence:
+            if ev not in hdmap:
+                yield ValidationIssue(
+                    Severity.ERROR, "regulatory", rule.id,
+                    f"rule cites missing evidence {ev}",
+                )
+
+
+ALL_CHECKS: List[Check] = [
+    _check_lane_references,
+    _check_lane_geometry,
+    _check_boundary_consistency,
+    _check_segment_bundles,
+    _check_connectivity,
+    _check_regulatory,
+]
+
+
+def validate_map(hdmap: HDMap, raise_on_error: bool = False) -> List[ValidationIssue]:
+    """Run all integrity checks; optionally raise if any ERROR is found."""
+    issues: List[ValidationIssue] = []
+    for check in ALL_CHECKS:
+        issues.extend(check(hdmap))
+    if raise_on_error:
+        errors = [i for i in issues if i.severity is Severity.ERROR]
+        if errors:
+            summary = "; ".join(str(e) for e in errors[:5])
+            raise MapValidationError(
+                f"{len(errors)} validation error(s): {summary}"
+            )
+    return issues

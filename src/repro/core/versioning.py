@@ -1,0 +1,127 @@
+"""Map versioning: patches of element operations applied atomically.
+
+Update pipelines (Section II-B(2) of the survey) never mutate a map ad hoc;
+they produce a :class:`MapPatch` that a :class:`VersionedMap` applies as one
+version bump, recording every change in the change log. This mirrors the
+"detected changes are reported to the HD map database for sharing with
+other vehicles" flow of SLAMCU [41] and the job-based updating of Pannen
+et al. [44].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.changes import ChangeLog, ChangeType, MapChange, _element_position
+from repro.core.elements import MapElement
+from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId
+from repro.errors import UpdateError
+
+
+@dataclass
+class AddElement:
+    element: MapElement
+
+
+@dataclass
+class RemoveElement:
+    element_id: ElementId
+
+
+@dataclass
+class ReplaceElement:
+    element: MapElement
+
+
+PatchOp = object  # AddElement | RemoveElement | ReplaceElement
+
+
+@dataclass
+class MapPatch:
+    """An ordered batch of element operations with provenance metadata."""
+
+    ops: List[PatchOp] = field(default_factory=list)
+    source: str = ""  # which pipeline produced this patch
+    confidence: float = 1.0
+
+    def add(self, element: MapElement) -> "MapPatch":
+        self.ops.append(AddElement(element))
+        return self
+
+    def remove(self, element_id: ElementId) -> "MapPatch":
+        self.ops.append(RemoveElement(element_id))
+        return self
+
+    def replace(self, element: MapElement) -> "MapPatch":
+        self.ops.append(ReplaceElement(element))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class VersionedMap:
+    """An :class:`HDMap` plus a change log and patch application."""
+
+    def __init__(self, hdmap: Optional[HDMap] = None, name: str = "map") -> None:
+        self.map = hdmap if hdmap is not None else HDMap(name)
+        self.log = ChangeLog()
+
+    @property
+    def version(self) -> int:
+        return self.map.version
+
+    def apply(self, patch: MapPatch) -> int:
+        """Apply a patch atomically; returns the new version.
+
+        If any operation fails, already-applied operations are rolled back
+        and the map version is unchanged.
+        """
+        applied: List[PatchOp] = []
+        undo: List[PatchOp] = []
+        try:
+            for op in patch.ops:
+                if isinstance(op, AddElement):
+                    self.map.add(op.element)
+                    undo.append(RemoveElement(op.element.id))
+                elif isinstance(op, RemoveElement):
+                    removed = self.map.remove(op.element_id)
+                    undo.append(AddElement(removed))
+                elif isinstance(op, ReplaceElement):
+                    old = self.map.get(op.element.id)
+                    self.map.replace(op.element)
+                    undo.append(ReplaceElement(old))
+                else:
+                    raise UpdateError(f"unknown patch op {op!r}")
+                applied.append(op)
+        except Exception:
+            for op in reversed(undo):
+                if isinstance(op, AddElement):
+                    self.map.add(op.element)
+                elif isinstance(op, RemoveElement):
+                    self.map.remove(op.element_id)
+                elif isinstance(op, ReplaceElement):
+                    self.map.replace(op.element)
+            raise
+
+        self.map.version += 1
+        for op in applied:
+            self.log.record(self.map.version, _change_for_op(op))
+        return self.map.version
+
+    def changes_since(self, version: int) -> List[MapChange]:
+        return self.log.changes_since(version)
+
+
+def _change_for_op(op: PatchOp) -> MapChange:
+    if isinstance(op, AddElement):
+        return MapChange(ChangeType.ADDED, op.element.id,
+                         _element_position(op.element))
+    if isinstance(op, RemoveElement):
+        return MapChange(ChangeType.REMOVED, op.element_id, (0.0, 0.0))
+    if isinstance(op, ReplaceElement):
+        return MapChange(ChangeType.MODIFIED, op.element.id,
+                         _element_position(op.element))
+    raise UpdateError(f"unknown patch op {op!r}")

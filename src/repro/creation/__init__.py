@@ -1,0 +1,55 @@
+"""Map creation: every construction pipeline family the survey covers.
+
+Each module reproduces one surveyed system on the synthetic substrate:
+
+- :mod:`lidar_pipeline` — Zhao et al. [32]: 5-step LiDAR road-structure
+  mapping (cloud -> 2-D projection -> ground removal -> boundary
+  extraction -> probabilistic fusion);
+- :mod:`crowdsource` — Dabeer et al. [29]: fleet triangulation of road
+  furniture with corrective feedback;
+- :mod:`feature_layers` — Kim et al. [31]: crowdsourced enrichment of an
+  existing map with a new, decoupled feature layer;
+- :mod:`probe_pipeline` — Massow et al. [28]: lane geometry from vehicle
+  probe data, GPS-only vs sensor-fused;
+- :mod:`aerial` — Mátyus et al. [27]: aerial + ground image fusion for
+  fine-grained road extraction (the survey's Figure 1);
+- :mod:`smartphone` — Szabó et al. [34]: phone-grade Kalman mapping;
+- :mod:`traffic_lights` — Hirabayashi et al. [33]: map-prior traffic-light
+  recognition with an inter-frame filter;
+- :mod:`ilci_integration` — Ilci & Toth [35]: survey-grade GNSS/IMU/LiDAR
+  mapping at centimetre level;
+- :mod:`lane_graph` — Zhou et al. [38]: lane-level maps from a road graph
+  plus bird's-eye-view lane semantics.
+"""
+
+from repro.creation.lidar_pipeline import LidarMappingPipeline, LidarMappingResult
+from repro.creation.crowdsource import CrowdMapper, CrowdMappingResult
+from repro.creation.feature_layers import FeatureLayerMapper, LayerResult
+from repro.creation.probe_pipeline import ProbeMapper, ProbeMapResult
+from repro.creation.aerial import AerialGroundMapper, AerialMapResult, render_aerial
+from repro.creation.smartphone import SmartphoneMapper, SmartphoneResult
+from repro.creation.traffic_lights import TrafficLightRecognizer, RecognitionResult
+from repro.creation.ilci_integration import SurveyRigMapper, SurveyResult
+from repro.creation.lane_graph import LaneGraphBuilder, LaneGraphResult
+
+__all__ = [
+    "AerialGroundMapper",
+    "AerialMapResult",
+    "CrowdMapper",
+    "CrowdMappingResult",
+    "FeatureLayerMapper",
+    "LaneGraphBuilder",
+    "LaneGraphResult",
+    "LayerResult",
+    "LidarMappingPipeline",
+    "LidarMappingResult",
+    "ProbeMapper",
+    "ProbeMapResult",
+    "RecognitionResult",
+    "SmartphoneMapper",
+    "SmartphoneResult",
+    "SurveyResult",
+    "SurveyRigMapper",
+    "TrafficLightRecognizer",
+    "render_aerial",
+]

@@ -1,0 +1,178 @@
+"""Aerial + ground image road extraction (Mátyus et al. [27], Figure 1).
+
+The four-phase technique of the paper on our substrate: a synthetic
+*aerial raster* of the road surface (rendered from the true map with blur,
+noise, and a small geo-registration offset), a coarse prior (the
+navigation-map reference line, perturbed), ground-level lane observations
+from a drive, and a fusion step that aligns the aerial extraction with the
+ground evidence. The baseline is the GPS+IMU-only centerline (paper:
+0.57 m vs 1.67 m).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.core.hdmap import HDMap
+from repro.eval.metrics import ErrorStats, error_stats
+from repro.geometry.polyline import Polyline
+from repro.geometry.raster import GridSpec, RasterGrid
+from repro.sensors.camera import Camera
+from repro.sensors.gnss import GnssSensor
+from repro.sensors.base import SensorGrade
+from repro.world.traffic import Trajectory
+
+
+def render_aerial(truth: HDMap, rng: np.random.Generator,
+                  resolution: float = 0.4, blur_sigma_px: float = 1.5,
+                  noise_sigma: float = 0.15,
+                  registration_offset: float = 0.8) -> Tuple[RasterGrid, np.ndarray]:
+    """Synthesize an aerial intensity image of the road network.
+
+    Returns the raster and the (unknown to the algorithm) registration
+    offset applied, emulating ortho-photo geo-referencing error.
+    """
+    spec = GridSpec.from_bounds(truth.bounds(), resolution, padding=15.0)
+    grid = RasterGrid(spec)
+    offset = rng.normal(0.0, registration_offset / np.sqrt(2), size=2)
+    for lane in truth.lanes():
+        sampled = lane.centerline.resample(resolution).points + offset
+        for lateral in np.arange(-lane.width / 2, lane.width / 2 + 1e-6,
+                                 resolution * 0.8):
+            try:
+                shifted = Polyline(sampled).offset(float(lateral))
+                grid.set_points(shifted.points, 1.0)
+            except Exception:
+                continue
+    grid.data = ndimage.gaussian_filter(grid.data, blur_sigma_px)
+    grid.data += rng.normal(0.0, noise_sigma, size=grid.data.shape)
+    return grid, offset
+
+
+@dataclass
+class AerialMapResult:
+    centerline: Optional[Polyline]
+    error: ErrorStats
+    seconds_per_km: float
+
+
+class AerialGroundMapper:
+    """Phases: decode aerial -> extract corridor centre -> fuse ground."""
+
+    def __init__(self, corridor_half_width: float = 12.0,
+                 station_step: float = 10.0) -> None:
+        self.corridor_half_width = corridor_half_width
+        self.station_step = station_step
+
+    # ------------------------------------------------------------------
+    def extract_from_aerial(self, aerial: RasterGrid,
+                            prior: Polyline) -> Optional[Polyline]:
+        """Phase 1-2: intensity-weighted road centre along the prior."""
+        pts: List[np.ndarray] = []
+        s = 0.0
+        step = aerial.spec.resolution
+        while s <= prior.length:
+            base = prior.point_at(s)
+            normal = prior.normal_at(s)
+            laterals = np.arange(-self.corridor_half_width,
+                                 self.corridor_half_width + step, step)
+            positions = base[None, :] + laterals[:, None] * normal[None, :]
+            weights = aerial.sample(positions)
+            weights = np.clip(weights, 0.0, None)
+            if weights.sum() > 1.0:
+                centre_lateral = float(np.sum(laterals * weights)
+                                       / weights.sum())
+                pts.append(base + centre_lateral * normal)
+            s += self.station_step
+        if len(pts) < 2:
+            return None
+        return Polyline(np.array(pts))
+
+    # ------------------------------------------------------------------
+    def fuse_ground(self, aerial_line: Polyline,
+                    ground_points: np.ndarray) -> Polyline:
+        """Phase 3-4: correct the aerial extraction's registration bias.
+
+        Ground observations of the road centre (from the drive) directly
+        measure the residual lateral offset of the aerial line; the mean
+        residual is removed.
+        """
+        if ground_points.shape[0] < 5:
+            return aerial_line
+        residuals = []
+        for p in ground_points:
+            s, d = aerial_line.project(p)
+            if 0.0 < s < aerial_line.length and abs(d) < 6.0:
+                residuals.append(d)
+        if len(residuals) < 5:
+            return aerial_line
+        shift = float(np.mean(residuals))
+        return aerial_line.offset(shift, spacing=self.station_step)
+
+    # ------------------------------------------------------------------
+    def run(self, truth: HDMap, aerial: RasterGrid, prior: Polyline,
+            reference_truth: Polyline, trajectory: Trajectory,
+            rng: np.random.Generator) -> AerialMapResult:
+        """Full pipeline over one corridor, scored against the true line."""
+        import time
+
+        started = time.perf_counter()
+        aerial_line = self.extract_from_aerial(aerial, prior)
+        if aerial_line is None:
+            raise ValueError("aerial extraction failed")
+        ground_points = _ground_centre_observations(truth, trajectory, rng)
+        fused = self.fuse_ground(aerial_line, ground_points)
+        elapsed = time.perf_counter() - started
+        errors = [abs(reference_truth.project(p)[1])
+                  for p in fused.resample(20.0).points]
+        return AerialMapResult(
+            centerline=fused,
+            error=error_stats(errors),
+            seconds_per_km=elapsed / max(reference_truth.length / 1000.0, 1e-9),
+        )
+
+
+def gps_imu_baseline(reference_truth: Polyline, trajectory: Trajectory,
+                     rng: np.random.Generator,
+                     grade: SensorGrade = SensorGrade.AUTOMOTIVE) -> ErrorStats:
+    """Baseline: centerline taken from the GPS+IMU track alone.
+
+    The probe lateral wander plus GNSS bias lands this in the paper's
+    ~1.7 m regime.
+    """
+    gnss = GnssSensor(grade, rate_hz=2.0)
+    fixes = gnss.measure(trajectory, rng)
+    errors = [abs(reference_truth.project(f.position)[1]) for f in fixes]
+    return error_stats(errors)
+
+
+def _ground_centre_observations(truth: HDMap, trajectory: Trajectory,
+                                rng: np.random.Generator,
+                                stride_s: float = 1.0) -> np.ndarray:
+    """Road-centre points observed from the vehicle (camera lane offsets).
+
+    The camera measures the vehicle's offset from its lane centre; adding
+    the lane's known offset pattern recovers points on the *road* centre
+    reference. We emulate the output: true road-centre points with small
+    observation noise.
+    """
+    camera = Camera()
+    pts = []
+    t = trajectory.start_time
+    while t <= trajectory.end_time:
+        pose = trajectory.pose_at(t)
+        obs = camera.observe_lanes(truth, pose, rng, t=t)
+        if obs is not None and obs.lane_centre_offset is not None:
+            lane, d = truth.nearest_lane(pose.x, pose.y)
+            if lane.segment is not None:
+                segment = truth.get(lane.segment)
+                s, _ = segment.reference_line.project((pose.x, pose.y))  # type: ignore[union-attr]
+                base = segment.reference_line.point_at(s)  # type: ignore[union-attr]
+                noise = rng.normal(0.0, 0.15, size=2)
+                pts.append(base + noise)
+        t += stride_s
+    return np.array(pts) if pts else np.zeros((0, 2))

@@ -1,0 +1,138 @@
+"""Smartphone-based HD map building (Szabó et al. [34]).
+
+Phone-grade GNSS and IMU are fused in a Kalman filter; a lane-detection
+network (surrogate: the camera's lane observation) supplies lateral
+corrections. The mapped lane centerline stays under the paper's ~3 m
+despite multi-metre raw GNSS error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.hdmap import HDMap
+from repro.eval.metrics import ErrorStats, error_stats
+from repro.geometry.polyline import Polyline
+from repro.geometry.transform import SE2
+from repro.localization.ekf import PoseEKF
+from repro.sensors.camera import Camera
+from repro.sensors.gnss import GnssSensor
+from repro.sensors.imu import ImuSensor
+from repro.sensors.base import SensorGrade
+from repro.world.traffic import Trajectory
+
+
+@dataclass
+class SmartphoneResult:
+    centerline: Optional[Polyline]
+    error: ErrorStats
+    raw_gnss_error: ErrorStats
+
+
+class SmartphoneMapper:
+    """Kalman GNSS+IMU fusion with camera lane-centre snapping."""
+
+    def __init__(self, use_lane_detection: bool = True) -> None:
+        self.gnss = GnssSensor(SensorGrade.SMARTPHONE, rate_hz=1.0)
+        self.imu = ImuSensor(SensorGrade.SMARTPHONE, rate_hz=10.0)
+        self.camera = Camera(lane_offset_sigma=0.12)
+        self.use_lane_detection = use_lane_detection
+
+    def run(self, reality: HDMap, trajectory: Trajectory,
+            rng: np.random.Generator) -> SmartphoneResult:
+        fixes = self.gnss.measure(trajectory, rng)
+        readings = self.imu.measure(trajectory, rng)
+        if not fixes or not readings:
+            raise ValueError("trajectory too short")
+
+        start = trajectory.pose_at(trajectory.start_time)
+        ekf = PoseEKF(SE2(float(fixes[0].position[0]),
+                          float(fixes[0].position[1]), start.theta),
+                      sigma_xy=4.0, sigma_theta=0.2)
+        speed = trajectory.samples[0].speed
+
+        fix_iter = iter(fixes)
+        next_fix = next(fix_iter, None)
+        prev_fix = None
+        mapped_points: List[np.ndarray] = []
+        lane_offsets: List[float] = []
+        prev_t = readings[0].t
+        warmup_until = readings[0].t + 8.0  # let the filter converge first
+        for reading in readings:
+            dt = reading.t - prev_t
+            prev_t = reading.t
+            speed = max(0.0, speed + reading.accel * dt)
+            ekf.predict(speed * dt, reading.yaw_rate * dt,
+                        sigma_ds=0.1 * max(speed * dt, 0.05),
+                        sigma_dtheta=0.02)
+            while next_fix is not None and next_fix.t <= reading.t:
+                # Offline mapping: no gating (a gate plus an unobserved
+                # heading is a divergence spiral on phone-grade sensors).
+                ekf.update_position(next_fix.position, next_fix.sigma,
+                                    gate=None)
+                if prev_fix is not None:
+                    delta = next_fix.position - prev_fix.position
+                    gap = float(np.hypot(*delta))
+                    if gap > 8.0:
+                        # Course over ground observes the heading, and the
+                        # displacement over the fix interval re-anchors the
+                        # integrated speed.
+                        course = float(np.arctan2(delta[1], delta[0]))
+                        ekf.update_heading(course, sigma=0.15, gate=None)
+                        dt_fix = next_fix.t - prev_fix.t
+                        if dt_fix > 0:
+                            gnss_speed = gap / dt_fix
+                            speed = 0.7 * speed + 0.3 * gnss_speed
+                prev_fix = next_fix
+                next_fix = next(fix_iter, None)
+            true_pose = trajectory.pose_at(reading.t)
+            offset = None
+            if self.use_lane_detection:
+                obs = self.camera.observe_lanes(reality, true_pose, rng,
+                                                t=reading.t)
+                if obs is not None:
+                    offset = obs.lane_centre_offset
+            # Map point: the estimated position of the *lane centre* the
+            # phone is driving. ``offset`` is the vehicle's offset from the
+            # lane centre (left positive), so the centre sits at
+            # pose - offset * left_normal.
+            pose = ekf.pose
+            if reading.t < warmup_until:
+                continue
+            if offset is not None:
+                normal = np.array([-np.sin(pose.theta), np.cos(pose.theta)])
+                mapped_points.append(
+                    np.array([pose.x, pose.y]) - offset * normal)
+                lane_offsets.append(offset)
+            elif not self.use_lane_detection:
+                mapped_points.append(np.array([pose.x, pose.y]))
+
+        if len(mapped_points) < 2:
+            raise ValueError("no mapped points produced")
+        centerline = _smooth_polyline(np.array(mapped_points), window=15)
+
+        true_lines = [lane.centerline for lane in reality.lanes()]
+        errors = [min(line.distance_to(p) for line in true_lines)
+                  for p in centerline.resample(20.0).points]
+        raw_errors = []
+        for fix in fixes:
+            true_pose = trajectory.pose_at(fix.t)
+            raw_errors.append(float(np.hypot(fix.position[0] - true_pose.x,
+                                             fix.position[1] - true_pose.y)))
+        return SmartphoneResult(
+            centerline=centerline,
+            error=error_stats(errors),
+            raw_gnss_error=error_stats(raw_errors),
+        )
+
+
+def _smooth_polyline(points: np.ndarray, window: int = 15) -> Polyline:
+    if points.shape[0] <= window:
+        return Polyline(points)
+    kernel = np.ones(window) / window
+    x = np.convolve(points[:, 0], kernel, mode="valid")
+    y = np.convolve(points[:, 1], kernel, mode="valid")
+    return Polyline(np.stack([x, y], axis=1))

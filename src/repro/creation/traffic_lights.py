@@ -1,0 +1,170 @@
+"""Map-prior traffic-light recognition (Hirabayashi et al. [33]).
+
+Three parts, as in the paper's Autoware implementation: (1) the HD map
+supplies each light's 3-D position, so detection is restricted to a small
+region of interest around its projection — killing clutter false
+positives; (2) a detector (surrogate with the SSD's operating point)
+classifies the colour state; (3) an *inter-frame filter* majority-votes
+the state over a sliding window, suppressing single-frame flicker.
+
+Scored as average precision of (detection, correct colour) against ground
+truth — the paper reports ~97 % with the map versus much lower without.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.elements import LightState, TrafficLight
+from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId
+from repro.eval.metrics import average_precision
+from repro.geometry.transform import SE2
+from repro.geometry.vec import wrap_angle
+from repro.sensors.camera import Camera, LightObservation
+from repro.world.traffic import Trajectory
+
+
+@dataclass
+class RecognitionEvent:
+    """One per-frame recognition: light id (if resolved), state, score."""
+
+    t: float
+    light_id: Optional[ElementId]
+    state: LightState
+    score: float
+    correct: bool
+
+
+@dataclass
+class RecognitionResult:
+    events: List[RecognitionEvent]
+    average_precision: float
+    n_frames: int
+
+
+class InterFrameFilter:
+    """Majority vote of the recent states per light."""
+
+    def __init__(self, window: int = 5) -> None:
+        self.window = window
+        self._history: Dict[ElementId, Deque[LightState]] = defaultdict(
+            lambda: deque(maxlen=self.window))
+
+    def push(self, light_id: ElementId, state: LightState) -> LightState:
+        history = self._history[light_id]
+        history.append(state)
+        counts: Dict[LightState, int] = {}
+        for s in history:
+            counts[s] = counts.get(s, 0) + 1
+        return max(counts.items(), key=lambda kv: kv[1])[0]
+
+
+class TrafficLightRecognizer:
+    """Recognition with (or without) the HD-map ROI prior."""
+
+    def __init__(self, hdmap: Optional[HDMap], camera: Optional[Camera] = None,
+                 roi_bearing: float = np.radians(4.0),
+                 roi_range_rel: float = 0.25,
+                 use_interframe_filter: bool = True) -> None:
+        self.map = hdmap  # None = no-map baseline
+        self.camera = camera if camera is not None else Camera(
+            detection_prob=0.93, false_positive_rate=0.5,
+            light_state_accuracy=0.93)
+        self.roi_bearing = roi_bearing
+        self.roi_range_rel = roi_range_rel
+        self.filter = InterFrameFilter() if use_interframe_filter else None
+
+    # ------------------------------------------------------------------
+    def _expected_lights(self, pose: SE2) -> List[TrafficLight]:
+        if self.map is None:
+            return []
+        return [lm for lm in self.map.landmarks_in_radius(
+                    pose.x, pose.y, self.camera.max_range)
+                if isinstance(lm, TrafficLight)
+                and self.camera.in_view(pose, lm.position)]
+
+    def process_frame(self, reality: HDMap, pose: SE2, t: float,
+                      rng: np.random.Generator) -> List[RecognitionEvent]:
+        observations = self.camera.observe_lights(reality, pose, rng, t=t)
+        # Clutter: phantom light observations (brake lights, reflections).
+        n_clutter = rng.poisson(0.4)
+        states = [LightState.RED, LightState.YELLOW, LightState.GREEN]
+        for _ in range(int(n_clutter)):
+            observations.append(LightObservation(
+                t=t,
+                bearing=float(rng.uniform(-self.camera.fov / 2,
+                                          self.camera.fov / 2)),
+                range=float(rng.uniform(8.0, self.camera.max_range)),
+                state=states[int(rng.integers(0, 3))],
+                true_id=None,
+            ))
+
+        expected = self._expected_lights(pose)
+        events: List[RecognitionEvent] = []
+        for obs in observations:
+            light_id: Optional[ElementId] = None
+            # Detector-confidence model (the SSD operating point): phantom
+            # detections look less light-like and score lower on average.
+            if obs.true_id is None:
+                score = float(rng.uniform(0.3, 0.75))
+            else:
+                score = float(rng.uniform(0.6, 0.98))
+            if self.map is not None:
+                match = self._match_roi(pose, obs, expected)
+                if match is None:
+                    continue  # outside every ROI: suppressed by the prior
+                light_id = match.id
+                score = min(1.0, score + 0.25)  # ROI-confirmed confidence
+            else:
+                light_id = obs.true_id
+            state = obs.state
+            if self.filter is not None and light_id is not None:
+                state = self.filter.push(light_id, state)
+            correct = False
+            if obs.true_id is not None and light_id == obs.true_id:
+                true_light = reality.get(obs.true_id)
+                assert isinstance(true_light, TrafficLight)
+                correct = state is true_light.state_at(t)
+            events.append(RecognitionEvent(
+                t=t, light_id=light_id, state=state, score=score,
+                correct=correct,
+            ))
+        return events
+
+    def _match_roi(self, pose: SE2, obs: LightObservation,
+                   expected: Sequence[TrafficLight]) -> Optional[TrafficLight]:
+        best = None
+        best_cost = 1.0
+        for light in expected:
+            rel = light.position - np.array([pose.x, pose.y])
+            bearing = wrap_angle(float(np.arctan2(rel[1], rel[0])) - pose.theta)
+            rng_ = float(np.hypot(*rel))
+            db = abs(wrap_angle(obs.bearing - bearing))
+            dr = abs(obs.range - rng_) / max(rng_, 1.0)
+            if db <= self.roi_bearing and dr <= self.roi_range_rel:
+                cost = db / self.roi_bearing + dr / self.roi_range_rel
+                if cost < best_cost * 2:
+                    best, best_cost = light, cost
+        return best
+
+    # ------------------------------------------------------------------
+    def run(self, reality: HDMap, trajectory: Trajectory,
+            rng: np.random.Generator, frame_dt: float = 0.5
+            ) -> RecognitionResult:
+        events: List[RecognitionEvent] = []
+        t = trajectory.start_time
+        n_frames = 0
+        while t <= trajectory.end_time:
+            pose = trajectory.pose_at(t)
+            events.extend(self.process_frame(reality, pose, t, rng))
+            t += frame_dt
+            n_frames += 1
+        ap = average_precision([e.score for e in events],
+                               [e.correct for e in events])
+        return RecognitionResult(events=events, average_precision=ap,
+                                 n_frames=n_frames)

@@ -1,0 +1,5 @@
+"""Full-HD depth-map upsampling (Chen et al. [19])."""
+
+from repro.depthmap.wmof import WeightedModeFilter, WmofStats
+
+__all__ = ["WeightedModeFilter", "WmofStats"]

@@ -1,0 +1,150 @@
+"""Weighted Mode Filter for guided depth upsampling (Chen et al. [19]).
+
+The WMoF upsamples a low-resolution depth map to the guide image's
+resolution by taking, per output pixel, the *mode* of nearby depth
+candidates weighted by guide-image similarity and spatial proximity —
+unlike an average, the mode never invents depths between surfaces, so
+edges stay crisp and flying-pixel outliers are voted out.
+
+The paper's contribution is a VLSI memory hierarchy that streams the
+image through a tiny on-chip tile (5.4 KB) at 43 fps. We reproduce the
+algorithm and the *working-set accounting*: the filter runs in row-strip
+tiles whose buffer footprint is reported, versus the naive full-frame
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sensors.depth import DepthFrame
+
+
+@dataclass
+class WmofStats:
+    """Throughput, working set, and accuracy of one upsampling run."""
+
+    seconds: float
+    fps: float
+    working_bytes: int
+    mae: float
+    outlier_fraction: float  # pixels > 1 m off
+
+
+class WeightedModeFilter:
+    """Guided weighted-mode depth upsampler with tiled execution."""
+
+    def __init__(self, window: int = 1, depth_tolerance: float = 0.5,
+                 guide_sigma: float = 0.12, spatial_sigma: float = 1.2,
+                 tile_rows: int = 16) -> None:
+        # ``window`` is the low-res neighbourhood radius (1 => 3x3).
+        self.window = window
+        self.depth_tolerance = depth_tolerance
+        self.guide_sigma = guide_sigma
+        self.spatial_sigma = spatial_sigma
+        self.tile_rows = tile_rows
+
+    # ------------------------------------------------------------------
+    def upsample(self, frame: DepthFrame, tiled: bool = True
+                 ) -> Tuple[np.ndarray, WmofStats]:
+        import time
+
+        started = time.perf_counter()
+        guide = frame.guide
+        H, W = guide.shape
+        if tiled:
+            out = np.empty((H, W))
+            rows_per_tile = self.tile_rows
+            for r0 in range(0, H, rows_per_tile):
+                r1 = min(H, r0 + rows_per_tile)
+                out[r0:r1] = self._filter_rows(frame, r0, r1)
+            working = self._tile_working_bytes(frame)
+        else:
+            out = self._filter_rows(frame, 0, H)
+            working = self._full_working_bytes(frame)
+        elapsed = time.perf_counter() - started
+        err = np.abs(out - frame.depth_true)
+        stats = WmofStats(
+            seconds=elapsed,
+            fps=1.0 / max(elapsed, 1e-9),
+            working_bytes=working,
+            mae=float(err.mean()),
+            outlier_fraction=float((err > 1.0).mean()),
+        )
+        return out, stats
+
+    # ------------------------------------------------------------------
+    def _filter_rows(self, frame: DepthFrame, r0: int, r1: int) -> np.ndarray:
+        guide = frame.guide[r0:r1]
+        f = frame.factor
+        h, w = guide.shape
+        low = frame.depth_low
+        guide_low = frame.guide[::f, ::f]
+
+        # Low-res coordinates of each output pixel in this strip.
+        rows = (np.arange(r0, r1) // f)
+        cols = (np.arange(w) // f)
+
+        offsets = range(-self.window, self.window + 1)
+        candidates = []
+        weights = []
+        for dy in offsets:
+            rr = np.clip(rows + dy, 0, low.shape[0] - 1)
+            for dx in offsets:
+                cc = np.clip(cols + dx, 0, low.shape[1] - 1)
+                cand = low[rr[:, None], cc[None, :]]
+                cand_guide = guide_low[rr[:, None], cc[None, :]]
+                w_guide = np.exp(-0.5 * ((guide - cand_guide)
+                                         / self.guide_sigma)**2)
+                w_spatial = np.exp(-0.5 * (dy * dy + dx * dx)
+                                   / self.spatial_sigma**2)
+                candidates.append(cand)
+                weights.append(w_guide * w_spatial)
+        cand = np.stack(candidates)  # (K, h, w)
+        wts = np.stack(weights)
+
+        # Weighted mode: each candidate's score is the weight mass of all
+        # candidates within depth_tolerance of it; take the argmax.
+        scores = np.zeros_like(cand)
+        K = cand.shape[0]
+        for k in range(K):
+            close = np.abs(cand - cand[k][None, ...]) <= self.depth_tolerance
+            scores[k] = (wts * close).sum(axis=0)
+        best = np.argmax(scores, axis=0)
+        return np.take_along_axis(cand, best[None, ...], axis=0)[0]
+
+    # ------------------------------------------------------------------
+    def _tile_working_bytes(self, frame: DepthFrame) -> int:
+        """On-chip buffer model: guide strip + low-res halo + accumulators.
+
+        Matches the paper's streaming architecture: only ``tile_rows`` of
+        guide, the corresponding low-res rows (plus window halo), and one
+        row-strip of score accumulators are resident; 16-bit fixed point.
+        """
+        f = frame.factor
+        W = frame.guide.shape[1]
+        k = 2 * self.window + 1
+        guide_strip = self.tile_rows * W * 2
+        low_rows = (self.tile_rows // f + 2 * self.window + 1)
+        low_strip = low_rows * (W // f) * 2 * 2  # depth + guide_low
+        accum = k * k * (W // f) * 2
+        return guide_strip + low_strip + accum
+
+    def _full_working_bytes(self, frame: DepthFrame) -> int:
+        H, W = frame.guide.shape
+        f = frame.factor
+        k = 2 * self.window + 1
+        # Full-frame buffers: guide, output, K candidate + K weight planes.
+        return (2 * H * W + 2 * k * k * H * W) * 2
+
+
+def nearest_neighbour_upsample(frame: DepthFrame) -> np.ndarray:
+    """Baseline: plain nearest-neighbour upsampling of the noisy low-res."""
+    f = frame.factor
+    H, W = frame.guide.shape
+    rows = np.clip(np.arange(H) // f, 0, frame.depth_low.shape[0] - 1)
+    cols = np.clip(np.arange(W) // f, 0, frame.depth_low.shape[1] - 1)
+    return frame.depth_low[rows[:, None], cols[None, :]]

@@ -1,0 +1,70 @@
+"""Experiment result records and table formatting.
+
+Every benchmark prints a :class:`ResultTable` whose rows pair the paper's
+reported figure with the value measured on the synthetic substrate, so
+EXPERIMENTS.md can be regenerated from bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One row: a named quantity, the paper's value, and ours."""
+
+    quantity: str
+    paper: str
+    measured: str
+    ok: Optional[bool] = None  # did the shape criterion hold?
+
+    def status(self) -> str:
+        if self.ok is None:
+            return ""
+        return "PASS" if self.ok else "FAIL"
+
+
+@dataclass
+class ResultTable:
+    """A printable experiment table."""
+
+    experiment_id: str
+    title: str
+    rows: List[ExperimentResult] = field(default_factory=list)
+
+    def add(self, quantity: str, paper: str, measured: str,
+            ok: Optional[bool] = None) -> None:
+        self.rows.append(ExperimentResult(quantity, paper, measured, ok))
+
+    def all_ok(self) -> bool:
+        return all(r.ok for r in self.rows if r.ok is not None)
+
+    def render(self) -> str:
+        headers = ["quantity", "paper", "measured", "status"]
+        body = [[r.quantity, r.paper, r.measured, r.status()] for r in self.rows]
+        widths = [max(len(h), *(len(row[i]) for row in body)) if body else len(h)
+                  for i, h in enumerate(headers)]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def render_histogram(counts: Sequence[int], edges: Sequence[float],
+                     width: int = 40, label: str = "error (m)") -> str:
+    """ASCII histogram — used to regenerate Figure 2 in bench output."""
+    counts = list(counts)
+    peak = max(counts) if counts else 1
+    lines = [f"{label:>12} | count"]
+    for i, c in enumerate(counts):
+        bar = "#" * int(round(width * c / max(peak, 1)))
+        lines.append(f"{edges[i]:6.2f}-{edges[i + 1]:5.2f} | {c:5d} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Frenet (station/lateral) frames anchored to a reference polyline.
+
+Lane-level planners in the survey (Jian et al. [52]) generate candidate
+paths in the lane coordinate system; this module provides the Cartesian <->
+Frenet conversion they need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.polyline import Polyline
+
+
+@dataclass(frozen=True)
+class FrenetPoint:
+    """A point in Frenet coordinates: station ``s`` and lateral offset ``d``."""
+
+    s: float
+    d: float
+
+
+class FrenetFrame:
+    """Cartesian <-> Frenet conversion along a reference polyline."""
+
+    def __init__(self, reference: Polyline) -> None:
+        self._ref = reference
+
+    @property
+    def reference(self) -> Polyline:
+        return self._ref
+
+    @property
+    def length(self) -> float:
+        return self._ref.length
+
+    def to_frenet(self, point: Sequence[float]) -> FrenetPoint:
+        s, d = self._ref.project(point)
+        return FrenetPoint(s=s, d=d)
+
+    def to_cartesian(self, s: float, d: float) -> np.ndarray:
+        base = self._ref.point_at(s)
+        normal = self._ref.normal_at(s)
+        return base + d * normal
+
+    def path_to_cartesian(self, stations: np.ndarray, laterals: np.ndarray) -> np.ndarray:
+        """Vectorized conversion of a Frenet path to Cartesian points."""
+        stations = np.asarray(stations, dtype=float)
+        laterals = np.asarray(laterals, dtype=float)
+        if stations.shape != laterals.shape:
+            raise ValueError("stations and laterals must have the same shape")
+        pts = np.empty((stations.size, 2))
+        for i, (s, d) in enumerate(zip(stations.ravel(), laterals.ravel())):
+            pts[i] = self.to_cartesian(float(s), float(d))
+        return pts
+
+    def heading_at(self, s: float) -> float:
+        return self._ref.heading_at(s)
+
+    def curvature_at(self, s: float) -> float:
+        return self._ref.curvature_at(s)

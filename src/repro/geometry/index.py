@@ -1,0 +1,144 @@
+"""Uniform-grid spatial index for map elements.
+
+HD maps are queried constantly by position (nearest lane, elements within a
+sensor radius), and the survey highlights efficient spatial data management
+as an open need [73]. A uniform grid hash is the right tool for the
+road-network densities involved: O(1) insertion and query cost proportional
+to the local element count.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Generic, Hashable, Iterable, List, Set, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+K = TypeVar("K", bound=Hashable)
+
+Bounds = Tuple[float, float, float, float]
+
+
+class GridIndex(Generic[K]):
+    """A uniform grid hash mapping cells to element keys.
+
+    Elements are inserted with an axis-aligned bounding box and retrieved by
+    point, box, or radius queries. Candidate sets are exact supersets; exact
+    geometric filtering is the caller's job (it owns the real geometry).
+    """
+
+    def __init__(self, cell_size: float = 50.0) -> None:
+        if cell_size <= 0:
+            raise GeometryError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._cells: Dict[Tuple[int, int], Set[K]] = defaultdict(set)
+        self._bounds: Dict[K, Bounds] = {}
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._bounds
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        return int(np.floor(x / self.cell_size)), int(np.floor(y / self.cell_size))
+
+    def _cells_for_bounds(self, bounds: Bounds) -> Iterable[Tuple[int, int]]:
+        min_x, min_y, max_x, max_y = bounds
+        c0 = self._cell_of(min_x, min_y)
+        c1 = self._cell_of(max_x, max_y)
+        for cx in range(c0[0], c1[0] + 1):
+            for cy in range(c0[1], c1[1] + 1):
+                yield (cx, cy)
+
+    def insert(self, key: K, bounds: Bounds) -> None:
+        """Insert (or re-insert) ``key`` covering ``bounds``."""
+        if key in self._bounds:
+            self.remove(key)
+        min_x, min_y, max_x, max_y = bounds
+        if max_x < min_x or max_y < min_y:
+            raise GeometryError(f"invalid bounds {bounds}")
+        self._bounds[key] = bounds
+        for cell in self._cells_for_bounds(bounds):
+            self._cells[cell].add(key)
+
+    def remove(self, key: K) -> None:
+        bounds = self._bounds.pop(key, None)
+        if bounds is None:
+            return
+        for cell in self._cells_for_bounds(bounds):
+            members = self._cells.get(cell)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    del self._cells[cell]
+
+    def query_point(self, x: float, y: float) -> List[K]:
+        """Keys whose bounds contain the point (deterministic order)."""
+        hits = []
+        for key in self._cells.get(self._cell_of(x, y), ()):
+            min_x, min_y, max_x, max_y = self._bounds[key]
+            if min_x <= x <= max_x and min_y <= y <= max_y:
+                hits.append(key)
+        # Sets iterate in hash order, which Python randomizes per process;
+        # sorting keeps every downstream computation reproducible.
+        hits.sort(key=repr)
+        return hits
+
+    def query_box(self, bounds: Bounds) -> List[K]:
+        """Keys whose bounds intersect the query box (deterministic order)."""
+        qx0, qy0, qx1, qy1 = bounds
+        seen: Set[K] = set()
+        hits: List[K] = []
+        for cell in self._cells_for_bounds(bounds):
+            for key in self._cells.get(cell, ()):
+                if key in seen:
+                    continue
+                seen.add(key)
+                bx0, by0, bx1, by1 = self._bounds[key]
+                if bx0 <= qx1 and bx1 >= qx0 and by0 <= qy1 and by1 >= qy0:
+                    hits.append(key)
+        hits.sort(key=repr)
+        return hits
+
+    def query_radius(self, x: float, y: float, radius: float) -> List[K]:
+        """Keys whose bounds intersect a circle (conservative box prefilter)."""
+        box = (x - radius, y - radius, x + radius, y + radius)
+        return self.query_box(box)
+
+    def nearest(self, x: float, y: float,
+                distance_fn: Callable[[K], float],
+                max_radius: float = 1e4) -> Tuple[K, float]:
+        """Nearest key by a caller-supplied exact distance function.
+
+        Expands the search ring until a hit is found, then verifies one more
+        ring to guarantee correctness.
+        """
+        if not self._bounds:
+            raise GeometryError("nearest() on an empty index")
+        radius = self.cell_size
+        best_key = None
+        best_dist = float("inf")
+        while radius <= max_radius * 2:
+            for key in self.query_radius(x, y, radius):
+                d = distance_fn(key)
+                if d < best_dist:
+                    best_key, best_dist = key, d
+            if best_key is not None and best_dist <= radius:
+                return best_key, best_dist
+            radius *= 2.0
+        if best_key is None:
+            # Fall back to a full scan; max_radius was too small.
+            for key in self._bounds:
+                d = distance_fn(key)
+                if d < best_dist:
+                    best_key, best_dist = key, d
+        return best_key, best_dist
+
+    def keys(self) -> Iterable[K]:
+        return self._bounds.keys()
+
+    def bounds_of(self, key: K) -> Bounds:
+        return self._bounds[key]

@@ -1,0 +1,168 @@
+"""Lane-level map matching.
+
+Two surveyed flavours:
+
+- :class:`LaneMatcher` — probabilistic lane-level map matching with an
+  *integrity* measure (Li et al. [59]): candidate lanes are scored by
+  lateral distance and heading agreement; integrity is the posterior
+  probability mass of the best candidate, so the consumer knows when the
+  match is ambiguous (parallel lanes) versus trustworthy.
+- :func:`match_line_segments` — the line-segment matching model of Han et
+  al. [51]: extracted road-marking segments are matched to map boundary
+  segments and a rigid correction is estimated by least squares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.elements import Lane
+from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId
+from repro.geometry.transform import SE2
+from repro.geometry.vec import wrap_angle
+
+
+@dataclass(frozen=True)
+class LaneMatch:
+    """Result of matching a pose to the lane network."""
+
+    lane_id: ElementId
+    station: float
+    lateral: float
+    probability: float  # posterior of this lane among candidates
+    integrity: float  # probability margin over the runner-up
+
+    @property
+    def ambiguous(self) -> bool:
+        return self.integrity < 0.5
+
+
+class LaneMatcher:
+    """Scores candidate lanes around a pose estimate."""
+
+    def __init__(self, hdmap: HDMap, search_radius: float = 10.0,
+                 sigma_lateral: float = 1.2,
+                 sigma_heading: float = 0.35) -> None:
+        self.map = hdmap
+        self.search_radius = search_radius
+        self.sigma_lateral = sigma_lateral
+        self.sigma_heading = sigma_heading
+
+    def candidates(self, pose: SE2) -> List[Tuple[Lane, float, float, float]]:
+        """(lane, station, lateral, score) for each nearby lane."""
+        out = []
+        for element in self.map.elements_in_radius(pose.x, pose.y,
+                                                   self.search_radius,
+                                                   kind="lane"):
+            assert isinstance(element, Lane)
+            s, d = element.centerline.project((pose.x, pose.y))
+            if abs(d) > self.search_radius:
+                continue
+            heading_err = wrap_angle(pose.theta
+                                     - element.centerline.heading_at(s))
+            score = float(
+                np.exp(-0.5 * (d / self.sigma_lateral)**2)
+                * np.exp(-0.5 * (heading_err / self.sigma_heading)**2)
+            )
+            out.append((element, s, d, score))
+        return out
+
+    def match(self, pose: SE2) -> Optional[LaneMatch]:
+        candidates = self.candidates(pose)
+        if not candidates:
+            return None
+        total = sum(score for *_, score in candidates)
+        if total <= 0:
+            return None
+        ranked = sorted(candidates, key=lambda c: -c[3])
+        best = ranked[0]
+        p_best = best[3] / total
+        p_second = ranked[1][3] / total if len(ranked) > 1 else 0.0
+        return LaneMatch(
+            lane_id=best[0].id,
+            station=best[1],
+            lateral=best[2],
+            probability=p_best,
+            integrity=p_best - p_second,
+        )
+
+
+def match_line_segments(
+    observed: Sequence[Tuple[np.ndarray, np.ndarray]],
+    reference: Sequence[Tuple[np.ndarray, np.ndarray]],
+    max_distance: float = 2.0,
+    max_angle: float = 0.35,
+) -> Optional[SE2]:
+    """Estimate the rigid correction aligning observed segments to the map.
+
+    Each observed segment (world frame, as placed by the current pose
+    estimate) is associated to the closest reference segment with a
+    compatible direction; the translation + rotation minimizing midpoint
+    residuals (point-to-line) is solved in closed form (small-angle).
+
+    Returns the correction ``SE2`` to *compose onto* the pose estimate, or
+    None if fewer than 2 segments matched.
+    """
+    pairs = []
+    for a_obs, b_obs in observed:
+        mid_obs = (np.asarray(a_obs) + np.asarray(b_obs)) / 2.0
+        dir_obs = np.asarray(b_obs) - np.asarray(a_obs)
+        len_obs = float(np.hypot(*dir_obs))
+        if len_obs < 1e-6:
+            continue
+        dir_obs = dir_obs / len_obs
+        best = None
+        best_d = max_distance
+        for a_ref, b_ref in reference:
+            dir_ref = np.asarray(b_ref) - np.asarray(a_ref)
+            len_ref = float(np.hypot(*dir_ref))
+            if len_ref < 1e-6:
+                continue
+            dir_ref = dir_ref / len_ref
+            cos_angle = abs(float(dir_obs @ dir_ref))
+            if cos_angle < np.cos(max_angle):
+                continue
+            # Point-to-line distance of observed midpoint.
+            rel = mid_obs - np.asarray(a_ref)
+            d = abs(float(dir_ref[0] * rel[1] - dir_ref[1] * rel[0]))
+            along = float(rel @ dir_ref)
+            if d < best_d and -2.0 <= along <= len_ref + 2.0:
+                best_d = d
+                normal = np.array([-dir_ref[1], dir_ref[0]])
+                signed = float(rel @ normal)
+                best = (mid_obs, normal, signed)
+        if best is not None:
+            pairs.append(best)
+    if len(pairs) < 2:
+        return None
+
+    # Solve for [dx, dy, dtheta] (rotation about the midpoint centroid, so
+    # translation and rotation decouple) minimizing the point-to-line
+    # residuals: n . (p + [dx,dy] + dtheta * J (p - c)) = n . p - signed.
+    centroid = np.mean([mid for mid, _, _ in pairs], axis=0)
+    A = []
+    b = []
+    for mid, normal, signed in pairs:
+        rel = mid - centroid
+        jp = np.array([-rel[1], rel[0]])
+        A.append([normal[0], normal[1], float(normal @ jp)])
+        b.append(-signed)
+    A = np.asarray(A)
+    b = np.asarray(b)
+    # Regularize rotation slightly to keep the solve well-posed on
+    # parallel-only segment sets.
+    reg = np.diag([1e-9, 1e-9, 1e-6])
+    sol = np.linalg.solve(A.T @ A + reg, A.T @ b)
+    dx, dy, dtheta = float(sol[0]), float(sol[1]), float(sol[2])
+    # Convert "rotate about centroid then translate" to an about-origin SE2:
+    # p' = c + R (p - c) + t  =  R p + (t + c - R c).
+    c_rot = np.array([
+        np.cos(dtheta) * centroid[0] - np.sin(dtheta) * centroid[1],
+        np.sin(dtheta) * centroid[0] + np.cos(dtheta) * centroid[1],
+    ])
+    shift = np.array([dx, dy]) + centroid - c_rot
+    return SE2(float(shift[0]), float(shift[1]), dtheta)

@@ -1,0 +1,158 @@
+"""Lane-surface particle localization (Bauer et al. [48]).
+
+The road is divided into lane surfaces; every particle lives *on* a lane
+surface, and a particle that drifts off its surface is re-localized onto
+the neighbouring lane instead of wandering off-road. This bakes the map's
+strongest prior — vehicles are on lanes — into the filter itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.elements import Lane
+from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId
+from repro.errors import LocalizationError
+from repro.geometry.transform import SE2
+from repro.localization.particle_filter import ParticleFilter2D
+
+
+class LaneSurfaceFilter:
+    """A PF whose particles are snapped to lane surfaces after prediction."""
+
+    def __init__(self, hdmap: HDMap, rng: np.random.Generator,
+                 n_particles: int = 250) -> None:
+        self.map = hdmap
+        self.filter = ParticleFilter2D(n_particles, rng)
+        self.rng = rng
+        self._initialized = False
+        # Which lane each particle currently rides.
+        self._lane_ids: List[Optional[ElementId]] = [None] * n_particles
+
+    def initialize(self, pose: SE2, sigma_xy: float = 3.0,
+                   sigma_theta: float = 0.1) -> None:
+        self.filter.init_gaussian(pose, sigma_xy, sigma_theta)
+        self._assign_surfaces()
+        self._initialized = True
+
+    def predict(self, ds: float, dtheta: float) -> None:
+        self._check()
+        self.filter.predict(ds, dtheta,
+                            sigma_ds=0.05 + 0.05 * abs(ds),
+                            sigma_dtheta=0.01 + 0.1 * abs(dtheta))
+        self._constrain_to_surfaces()
+
+    def update_gnss(self, position: np.ndarray, sigma: float) -> None:
+        self._check()
+
+        def weight(states: np.ndarray) -> np.ndarray:
+            d2 = ((states[:, 0] - position[0])**2
+                  + (states[:, 1] - position[1])**2)
+            return np.exp(-0.5 * d2 / sigma**2)
+
+        self.filter.update(weight)
+        if self.filter.resample_if_needed():
+            self._assign_surfaces()
+
+    def update_lane_offset(self, offset: float, sigma: float = 0.15) -> None:
+        """Camera lateral offset inside the current lane."""
+        self._check()
+        laterals = np.empty(self.filter.n)
+        for i, state in enumerate(self.filter.states):
+            lane = self._lane_of(i)
+            if lane is None:
+                laterals[i] = np.inf
+                continue
+            _, d = lane.centerline.project(state[:2])
+            laterals[i] = d
+
+        def weight(states: np.ndarray) -> np.ndarray:
+            err = laterals - offset
+            w = np.where(np.isfinite(err),
+                         np.exp(-0.5 * (err / sigma)**2), 1e-9)
+            return w
+
+        self.filter.update(weight)
+        if self.filter.resample_if_needed():
+            self._assign_surfaces()
+
+    def estimate(self) -> SE2:
+        self._check()
+        return self.filter.estimate()
+
+    def lane_vote(self) -> Optional[ElementId]:
+        """The lane carrying the most particle weight (lane-level output)."""
+        votes: Dict[ElementId, float] = {}
+        for i, lane_id in enumerate(self._lane_ids):
+            if lane_id is not None:
+                votes[lane_id] = votes.get(lane_id, 0.0) + self.filter.weights[i]
+        if not votes:
+            return None
+        return max(votes.items(), key=lambda kv: kv[1])[0]
+
+    # ------------------------------------------------------------------
+    def _lane_of(self, i: int) -> Optional[Lane]:
+        lane_id = self._lane_ids[i]
+        if lane_id is None:
+            return None
+        lane = self.map.get(lane_id)
+        return lane if isinstance(lane, Lane) else None
+
+    def _assign_surfaces(self) -> None:
+        for i, state in enumerate(self.filter.states):
+            try:
+                lane, d = self.map.nearest_lane(float(state[0]), float(state[1]))
+            except Exception:
+                self._lane_ids[i] = None
+                continue
+            self._lane_ids[i] = lane.id if d <= lane.width * 1.5 else None
+
+    def _constrain_to_surfaces(self) -> None:
+        """Snap drifted particles back onto a lane surface.
+
+        A particle whose lateral exceeds its lane's half width is moved to
+        the adjacent lane surface if one exists there, otherwise clamped to
+        the lane edge (the "re-localized on a new surface" rule of [48]).
+        """
+        for i, state in enumerate(self.filter.states):
+            lane = self._lane_of(i)
+            if lane is None:
+                self._reassign(i)
+                continue
+            s, d = lane.centerline.project(state[:2])
+            half = lane.width / 2.0
+            if abs(d) <= half:
+                # Follow the lane onto its successor when running off the end.
+                if s >= lane.centerline.length - 1e-6:
+                    succs = self.map.successors(lane.id)
+                    if succs:
+                        self._lane_ids[i] = succs[
+                            int(self.rng.integers(0, len(succs)))]
+                continue
+            neighbor_id = (self.map.left_neighbor(lane.id) if d > 0
+                           else self.map.right_neighbor(lane.id))
+            if neighbor_id is not None:
+                self._lane_ids[i] = neighbor_id
+                continue
+            # Clamp back onto the surface edge.
+            base = lane.centerline.point_at(s)
+            normal = lane.centerline.normal_at(s)
+            clamped = base + np.sign(d) * half * 0.95 * normal
+            self.filter.states[i, 0] = clamped[0]
+            self.filter.states[i, 1] = clamped[1]
+
+    def _reassign(self, i: int) -> None:
+        state = self.filter.states[i]
+        try:
+            lane, d = self.map.nearest_lane(float(state[0]), float(state[1]))
+        except Exception:
+            return
+        if d <= lane.width * 2.0:
+            self._lane_ids[i] = lane.id
+
+    def _check(self) -> None:
+        if not self._initialized:
+            raise LocalizationError("filter not initialized")

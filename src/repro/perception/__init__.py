@@ -1,0 +1,27 @@
+"""Perception: HD maps as priors for understanding the surroundings.
+
+- :mod:`repro.perception.detector` — base LiDAR object detector;
+- :mod:`repro.perception.hdnet` — HDNET [6]: geometric/semantic map priors
+  boosting 3-D (here planar) object detection, with an online map-prior
+  prediction fallback when no HD map is available;
+- :mod:`repro.perception.cooperative` — Masi et al. [63]: roadside-camera
+  + vehicle fusion with Kalman object tracking.
+"""
+
+from repro.perception.detector import Detection, LidarObjectDetector
+from repro.perception.hdnet import HdnetDetector, predict_road_prior
+from repro.perception.cooperative import (
+    CooperativePerception,
+    RoadsideCamera,
+    TrackedObject,
+)
+
+__all__ = [
+    "CooperativePerception",
+    "Detection",
+    "HdnetDetector",
+    "LidarObjectDetector",
+    "RoadsideCamera",
+    "TrackedObject",
+    "predict_road_prior",
+]

@@ -1,0 +1,62 @@
+"""Path planning on lane-level HD maps.
+
+- :mod:`repro.planning.route_graph` — instrumented Dijkstra/A* over the
+  lane graph (expansion counts exposed for the search comparisons);
+- :mod:`repro.planning.bhps` — bidirectional hybrid path search [62];
+- :mod:`repro.planning.frenet_paths` — lane-coordinate path-set generation
+  with inertia-like path selection for obstacle avoidance [52];
+- :mod:`repro.planning.pcc` — predictive cruise control: slope-anticipating
+  speed optimization with a longitudinal fuel model [61].
+"""
+
+from repro.planning.route_graph import LaneRouter, RouteResult, SearchStats
+from repro.planning.bhps import bhps_route
+from repro.planning.behavior import (
+    BehaviorDecision,
+    BehaviorPlanner,
+    BehaviorState,
+    LeadVehicle,
+    simulate_approach,
+)
+from repro.planning.guidance import (
+    GuidanceStep,
+    Maneuver,
+    describe_route,
+    render_guidance,
+)
+from repro.planning.frenet_paths import (
+    FrenetPath,
+    PathSetPlanner,
+    PlannerConfig,
+)
+from repro.planning.pcc import (
+    FuelModel,
+    PccPlanner,
+    PccResult,
+    constant_speed_profile,
+    simulate_fuel,
+)
+
+__all__ = [
+    "BehaviorDecision",
+    "BehaviorPlanner",
+    "BehaviorState",
+    "FrenetPath",
+    "GuidanceStep",
+    "LeadVehicle",
+    "Maneuver",
+    "describe_route",
+    "render_guidance",
+    "simulate_approach",
+    "FuelModel",
+    "LaneRouter",
+    "PathSetPlanner",
+    "PccPlanner",
+    "PccResult",
+    "PlannerConfig",
+    "RouteResult",
+    "SearchStats",
+    "bhps_route",
+    "constant_speed_profile",
+    "simulate_fuel",
+]

@@ -1,0 +1,101 @@
+"""Turn-by-turn guidance from a lane-level route.
+
+The survey frames HD path planning as "detailed routing instructions for
+machines ... analogous to navigation apps" [60]: the machine consumes the
+lane sequence, a human supervisor still wants the Google-Maps-style
+narration. This module derives it from route geometry: follow / turn left
+/ turn right / lane-change steps with distances.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.elements import Lane
+from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId
+from repro.geometry.vec import wrap_angle
+from repro.planning.route_graph import RouteResult
+
+TURN_THRESHOLD = np.radians(35.0)
+
+
+class Maneuver(enum.Enum):
+    DEPART = "depart"
+    CONTINUE = "continue"
+    TURN_LEFT = "turn left"
+    TURN_RIGHT = "turn right"
+    LANE_CHANGE_LEFT = "change lane left"
+    LANE_CHANGE_RIGHT = "change lane right"
+    ARRIVE = "arrive"
+
+
+@dataclass(frozen=True)
+class GuidanceStep:
+    maneuver: Maneuver
+    distance: float  # metres driven during this step
+    lane_id: ElementId
+
+    def __str__(self) -> str:
+        return f"{self.maneuver.value} ({self.distance:.0f} m)"
+
+
+def _heading_change(lane: Lane) -> float:
+    h0 = lane.centerline.heading_at(0.0)
+    h1 = lane.centerline.heading_at(lane.length)
+    return wrap_angle(h1 - h0)
+
+
+def describe_route(hdmap: HDMap, route: RouteResult) -> List[GuidanceStep]:
+    """Turn the lane sequence into guidance steps.
+
+    Consecutive CONTINUE segments are merged; turns are detected from the
+    connector lane's net heading change, lane changes from the adjacency
+    relation between consecutive lanes.
+    """
+    if not route.lane_ids:
+        return []
+    steps: List[GuidanceStep] = []
+    lanes = [hdmap.get(eid) for eid in route.lane_ids]
+    for lane in lanes:
+        if not isinstance(lane, Lane):
+            raise ValueError(f"route element {lane.id} is not a lane")
+
+    steps.append(GuidanceStep(Maneuver.DEPART, 0.0, lanes[0].id))
+    pending_distance = lanes[0].length
+    for prev, cur in zip(lanes, lanes[1:]):
+        maneuver = Maneuver.CONTINUE
+        if hdmap.right_neighbor(prev.id) == cur.id:
+            maneuver = Maneuver.LANE_CHANGE_RIGHT
+        elif hdmap.left_neighbor(prev.id) == cur.id:
+            maneuver = Maneuver.LANE_CHANGE_LEFT
+        else:
+            dh = _heading_change(cur)
+            if dh > TURN_THRESHOLD:
+                maneuver = Maneuver.TURN_LEFT
+            elif dh < -TURN_THRESHOLD:
+                maneuver = Maneuver.TURN_RIGHT
+        if maneuver is Maneuver.CONTINUE:
+            pending_distance += cur.length
+            continue
+        steps.append(GuidanceStep(Maneuver.CONTINUE, pending_distance,
+                                  prev.id))
+        steps.append(GuidanceStep(maneuver, cur.length, cur.id))
+        pending_distance = 0.0
+    steps.append(GuidanceStep(Maneuver.CONTINUE, pending_distance,
+                              lanes[-1].id))
+    steps.append(GuidanceStep(Maneuver.ARRIVE, 0.0, lanes[-1].id))
+    # Drop zero-length CONTINUEs produced by back-to-back maneuvers.
+    return [s for s in steps
+            if s.maneuver is not Maneuver.CONTINUE or s.distance > 1.0]
+
+
+def render_guidance(steps: Sequence[GuidanceStep]) -> str:
+    lines = []
+    for i, step in enumerate(steps, 1):
+        lines.append(f"{i:2d}. {step}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Pose estimation beyond planar localization.
+
+- :mod:`repro.pose.pose6dof` — full 6-DoF pose recovery: a 4-DoF
+  (translation + heading) estimate from any planar localizer is completed
+  with roll/pitch solved from 3-D landmark observations, the HDMI-Loc [23]
+  two-stage scheme.
+- :mod:`repro.pose.association` — semantic max-mixture data association
+  over a sliding window (Stannartz et al. [58]).
+"""
+
+from repro.pose.pose6dof import SixDofEstimator, recover_roll_pitch
+from repro.pose.association import (
+    AssociationResult,
+    MaxMixtureAssociator,
+    WindowedPoseEstimator,
+)
+
+__all__ = [
+    "AssociationResult",
+    "MaxMixtureAssociator",
+    "SixDofEstimator",
+    "WindowedPoseEstimator",
+    "recover_roll_pitch",
+]

@@ -1,0 +1,45 @@
+"""Synthetic sensors with explicit noise models.
+
+Each sensor observes the ground-truth world (an :class:`~repro.core.HDMap`
+plus a true trajectory) and emits measurements corrupted exactly the way
+its real counterpart is: GNSS bias random-walk + white noise, IMU bias
+drift, LiDAR range/intensity noise and dropouts, camera detection
+probability and pixel noise. Sensor *grades* (survey rig / automotive /
+smartphone) differ only in noise parameters, which is what lets one
+pipeline reproduce the accuracy ladder the survey reports (2 cm survey
+rigs [35] -> 20 cm crowd fleets [29] -> metres from phones [34]).
+"""
+
+from repro.sensors.base import SensorGrade
+from repro.sensors.gnss import GnssFix, GnssSensor
+from repro.sensors.imu import ImuReading, ImuSensor
+from repro.sensors.odometry import OdometryDelta, WheelOdometry
+from repro.sensors.lidar import LidarScan, LidarScanner
+from repro.sensors.camera import (
+    Camera,
+    LaneObservation,
+    LightObservation,
+    SignDetection,
+)
+from repro.sensors.probe import ProbeGenerator, ProbeTrace
+from repro.sensors.depth import DepthFrame, make_depth_scene
+
+__all__ = [
+    "Camera",
+    "DepthFrame",
+    "GnssFix",
+    "GnssSensor",
+    "ImuReading",
+    "ImuSensor",
+    "LaneObservation",
+    "LidarScan",
+    "LidarScanner",
+    "LightObservation",
+    "OdometryDelta",
+    "ProbeGenerator",
+    "ProbeTrace",
+    "SensorGrade",
+    "SignDetection",
+    "WheelOdometry",
+    "make_depth_scene",
+]

@@ -1,0 +1,53 @@
+"""Shared sensor plumbing: grades and noise parameter bundles."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SensorGrade(enum.Enum):
+    """Equipment tiers the survey's accuracy ladder spans.
+
+    - SURVEY: dedicated mobile-mapping rig (DGPS + tactical IMU + LiDAR),
+      the kind HERE/Waymo drive — centimetre-level [35], [68];
+    - AUTOMOTIVE: series-production ADAS sensors — decimetre GNSS after
+      augmentation, consumer IMU [54], [29];
+    - SMARTPHONE: phone GNSS/IMU [34] — metre-level.
+    """
+
+    SURVEY = "survey"
+    AUTOMOTIVE = "automotive"
+    SMARTPHONE = "smartphone"
+
+
+@dataclass(frozen=True)
+class GnssNoise:
+    """GNSS error model: white noise + slowly walking bias (multipath etc.)."""
+
+    white_sigma: float  # per-fix white noise, metres (1-D)
+    bias_sigma: float  # stationary bias magnitude, metres (1-D)
+    bias_tau: float  # bias correlation time, seconds
+
+
+@dataclass(frozen=True)
+class ImuNoise:
+    gyro_sigma: float  # rad/s white
+    gyro_bias_sigma: float  # rad/s bias random walk scale
+    accel_sigma: float  # m/s^2 white
+
+
+GNSS_NOISE_BY_GRADE = {
+    # RTK/DGPS fixed solution: ~1-2 cm.
+    SensorGrade.SURVEY: GnssNoise(white_sigma=0.012, bias_sigma=0.005, bias_tau=120.0),
+    # SBAS-corrected automotive GNSS: ~0.5-1.5 m.
+    SensorGrade.AUTOMOTIVE: GnssNoise(white_sigma=0.6, bias_sigma=0.8, bias_tau=60.0),
+    # Phone GNSS in urban conditions: several metres.
+    SensorGrade.SMARTPHONE: GnssNoise(white_sigma=2.5, bias_sigma=2.0, bias_tau=45.0),
+}
+
+IMU_NOISE_BY_GRADE = {
+    SensorGrade.SURVEY: ImuNoise(gyro_sigma=2e-4, gyro_bias_sigma=1e-6, accel_sigma=5e-3),
+    SensorGrade.AUTOMOTIVE: ImuNoise(gyro_sigma=2e-3, gyro_bias_sigma=2e-5, accel_sigma=5e-2),
+    SensorGrade.SMARTPHONE: ImuNoise(gyro_sigma=8e-3, gyro_bias_sigma=1e-4, accel_sigma=1.5e-1),
+}

@@ -1,0 +1,61 @@
+"""GNSS receiver model: white noise plus an Ornstein-Uhlenbeck bias.
+
+The bias term is what makes GNSS-only map building hard (Massow et al.
+[28] get only 2.4 m from GPS probes): averaging many fixes removes white
+noise but not the correlated multipath/atmospheric bias, so accuracy
+saturates — exactly the behaviour this model reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sensors.base import GNSS_NOISE_BY_GRADE, GnssNoise, SensorGrade
+from repro.world.traffic import Trajectory
+
+
+@dataclass(frozen=True)
+class GnssFix:
+    """One position fix (east-north metres in the map frame)."""
+
+    t: float
+    position: np.ndarray
+    sigma: float  # advertised 1-D standard deviation
+
+
+class GnssSensor:
+    """Samples fixes along a trajectory with grade-dependent noise."""
+
+    def __init__(self, grade: SensorGrade = SensorGrade.AUTOMOTIVE,
+                 rate_hz: float = 1.0,
+                 noise: Optional[GnssNoise] = None) -> None:
+        self.grade = grade
+        self.rate_hz = rate_hz
+        self.noise = noise if noise is not None else GNSS_NOISE_BY_GRADE[grade]
+
+    def measure(self, trajectory: Trajectory,
+                rng: np.random.Generator) -> List[GnssFix]:
+        dt = 1.0 / self.rate_hz
+        noise = self.noise
+        # OU bias: db = -b/tau dt + sigma*sqrt(2 dt/tau) dW, stationary
+        # standard deviation = bias_sigma.
+        bias = rng.normal(0.0, noise.bias_sigma, size=2)
+        decay = np.exp(-dt / noise.bias_tau)
+        drive = noise.bias_sigma * np.sqrt(1.0 - decay**2)
+        fixes: List[GnssFix] = []
+        t = trajectory.start_time
+        while t <= trajectory.end_time:
+            pose = trajectory.pose_at(t)
+            truth = np.array([pose.x, pose.y])
+            white = rng.normal(0.0, noise.white_sigma, size=2)
+            fixes.append(GnssFix(
+                t=float(t),
+                position=truth + bias + white,
+                sigma=float(np.hypot(noise.white_sigma, noise.bias_sigma)),
+            ))
+            bias = decay * bias + rng.normal(0.0, drive, size=2)
+            t += dt
+        return fixes

@@ -1,0 +1,82 @@
+"""IMU model: yaw-rate and longitudinal acceleration with bias drift."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.vec import wrap_angle
+from repro.sensors.base import IMU_NOISE_BY_GRADE, ImuNoise, SensorGrade
+from repro.world.traffic import Trajectory
+
+
+@dataclass(frozen=True)
+class ImuReading:
+    t: float
+    yaw_rate: float  # rad/s
+    accel: float  # longitudinal m/s^2
+
+
+class ImuSensor:
+    """Samples yaw-rate/acceleration along a trajectory with bias drift."""
+
+    def __init__(self, grade: SensorGrade = SensorGrade.AUTOMOTIVE,
+                 rate_hz: float = 20.0,
+                 noise: Optional[ImuNoise] = None) -> None:
+        self.grade = grade
+        self.rate_hz = rate_hz
+        self.noise = noise if noise is not None else IMU_NOISE_BY_GRADE[grade]
+
+    def measure(self, trajectory: Trajectory,
+                rng: np.random.Generator) -> List[ImuReading]:
+        dt = 1.0 / self.rate_hz
+        noise = self.noise
+        gyro_bias = 0.0
+        readings: List[ImuReading] = []
+        t = trajectory.start_time
+        prev_pose = trajectory.pose_at(t)
+        prev_speed = trajectory.samples[0].speed
+        while t + dt <= trajectory.end_time:
+            pose = trajectory.pose_at(t + dt)
+            true_yaw_rate = wrap_angle(pose.theta - prev_pose.theta) / dt
+            speed_now = _speed_at(trajectory, t + dt)
+            true_accel = (speed_now - prev_speed) / dt
+            gyro_bias += rng.normal(0.0, noise.gyro_bias_sigma) * np.sqrt(dt)
+            readings.append(ImuReading(
+                t=float(t + dt),
+                yaw_rate=true_yaw_rate + gyro_bias + float(rng.normal(0, noise.gyro_sigma)),
+                accel=true_accel + float(rng.normal(0, noise.accel_sigma)),
+            ))
+            prev_pose = pose
+            prev_speed = speed_now
+            t += dt
+        return readings
+
+
+def _speed_at(trajectory: Trajectory, t: float) -> float:
+    times = np.array([s.t for s in trajectory.samples])
+    speeds = np.array([s.speed for s in trajectory.samples])
+    return float(np.interp(t, times, speeds))
+
+
+def dead_reckon(readings: List[ImuReading], start_pose, start_speed: float):
+    """Integrate IMU readings into a pose track (for drift illustration).
+
+    Returns a list of ``(t, SE2)`` — the classic error-growth curve that
+    motivates map-based localization.
+    """
+    from repro.geometry.transform import SE2
+
+    poses = [(readings[0].t, start_pose)]
+    x, y, theta = start_pose.x, start_pose.y, start_pose.theta
+    speed = start_speed
+    for prev, cur in zip(readings, readings[1:]):
+        dt = cur.t - prev.t
+        speed = max(0.0, speed + cur.accel * dt)
+        theta = wrap_angle(theta + cur.yaw_rate * dt)
+        x += speed * dt * np.cos(theta)
+        y += speed * dt * np.sin(theta)
+        poses.append((cur.t, SE2(x, y, theta)))
+    return poses

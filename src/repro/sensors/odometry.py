@@ -1,0 +1,59 @@
+"""Wheel odometry: relative motion increments with multiplicative noise.
+
+Odometry is the prediction input of every particle filter in
+:mod:`repro.localization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.geometry.vec import wrap_angle
+from repro.world.traffic import Trajectory
+
+
+@dataclass(frozen=True)
+class OdometryDelta:
+    """Relative motion from the previous sample, in the body frame."""
+
+    t: float
+    ds: float  # distance travelled, metres
+    dtheta: float  # heading change, radians
+
+
+class WheelOdometry:
+    """Samples body-frame motion increments along a trajectory.
+
+    ``scale_sigma`` models wheel-radius error (multiplicative on distance);
+    ``theta_sigma_per_m`` models heading drift per metre travelled.
+    """
+
+    def __init__(self, rate_hz: float = 10.0, scale_sigma: float = 0.01,
+                 theta_sigma_per_m: float = 0.002) -> None:
+        self.rate_hz = rate_hz
+        self.scale_sigma = scale_sigma
+        self.theta_sigma_per_m = theta_sigma_per_m
+
+    def measure(self, trajectory: Trajectory,
+                rng: np.random.Generator) -> List[OdometryDelta]:
+        dt = 1.0 / self.rate_hz
+        scale = 1.0 + float(rng.normal(0.0, self.scale_sigma))
+        deltas: List[OdometryDelta] = []
+        t = trajectory.start_time
+        prev = trajectory.pose_at(t)
+        while t + dt <= trajectory.end_time:
+            cur = trajectory.pose_at(t + dt)
+            ds_true = float(np.hypot(cur.x - prev.x, cur.y - prev.y))
+            dtheta_true = wrap_angle(cur.theta - prev.theta)
+            ds = max(0.0, scale * ds_true
+                     + float(rng.normal(0.0, 0.01 * max(ds_true, 0.05))))
+            dtheta = dtheta_true + float(
+                rng.normal(0.0, self.theta_sigma_per_m * max(ds_true, 0.05))
+            )
+            deltas.append(OdometryDelta(float(t + dt), ds, dtheta))
+            prev = cur
+            t += dt
+        return deltas

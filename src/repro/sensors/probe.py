@@ -1,0 +1,71 @@
+"""Floating-car / probe data (FCD) generation.
+
+Massow et al. [28] derive HD maps from connected-vehicle probe data;
+Pannen et al. [42], [44] detect map changes from FCD statistics. A probe
+trace is a low-rate GNSS track, optionally enriched with the extra sensor
+channels a connected vehicle can report (lane observations, sign
+detections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.hdmap import HDMap
+from repro.sensors.camera import Camera, LaneObservation, SignDetection
+from repro.sensors.gnss import GnssFix, GnssSensor
+from repro.sensors.base import SensorGrade
+from repro.world.traffic import Trajectory
+
+
+@dataclass
+class ProbeTrace:
+    """One vehicle's uploaded trace."""
+
+    vehicle_id: int
+    fixes: List[GnssFix]
+    lane_observations: List[LaneObservation] = field(default_factory=list)
+    sign_detections: List[SignDetection] = field(default_factory=list)
+
+    @property
+    def positions(self) -> np.ndarray:
+        return np.array([f.position for f in self.fixes])
+
+
+class ProbeGenerator:
+    """Generates probe traces from trajectories over the *reality* map.
+
+    ``with_sensors=False`` reproduces Massow's GPS-only pipeline input;
+    ``with_sensors=True`` adds the camera channels their richer variant
+    assumes.
+    """
+
+    def __init__(self, grade: SensorGrade = SensorGrade.AUTOMOTIVE,
+                 rate_hz: float = 1.0, with_sensors: bool = False,
+                 camera: Optional[Camera] = None) -> None:
+        self.gnss = GnssSensor(grade, rate_hz=rate_hz)
+        self.with_sensors = with_sensors
+        self.camera = camera if camera is not None else Camera()
+
+    def generate(self, reality: HDMap, trajectory: Trajectory,
+                 vehicle_id: int, rng: np.random.Generator) -> ProbeTrace:
+        fixes = self.gnss.measure(trajectory, rng)
+        trace = ProbeTrace(vehicle_id=vehicle_id, fixes=fixes)
+        if self.with_sensors:
+            for fix in fixes:
+                pose = trajectory.pose_at(fix.t)
+                lane_obs = self.camera.observe_lanes(reality, pose, rng, t=fix.t)
+                if lane_obs is not None:
+                    trace.lane_observations.append(lane_obs)
+                trace.sign_detections.extend(
+                    self.camera.observe_signs(reality, pose, rng, t=fix.t)
+                )
+        return trace
+
+    def generate_fleet(self, reality: HDMap, trajectories: List[Trajectory],
+                       rng: np.random.Generator) -> List[ProbeTrace]:
+        return [self.generate(reality, traj, i, rng)
+                for i, traj in enumerate(trajectories)]

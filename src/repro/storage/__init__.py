@@ -1,0 +1,32 @@
+"""Map serialization and storage accounting.
+
+Three representations span the storage spectrum the survey discusses:
+
+- :mod:`repro.storage.geojson` — readable interchange text format;
+- :mod:`repro.storage.binary` — compact delta-coded binary vector format
+  (the "remove the point cloud, keep the vectors" strategy of Li et al.
+  [60] that reaches ~100 KB/mile);
+- :mod:`repro.storage.pointcloud` — the raw dense point-cloud map the
+  vector formats replace (~10 MB/mile, Pannen et al. [44]).
+"""
+
+from repro.storage.geojson import map_from_dict, map_to_dict, load_map, save_map
+from repro.storage.binary import decode_map, encode_map
+from repro.storage.pointcloud import PointCloudMap, build_pointcloud_map
+from repro.storage.stats import StorageReport, storage_report
+from repro.storage.tilestore import StreamingMap, TileStore
+
+__all__ = [
+    "PointCloudMap",
+    "StorageReport",
+    "StreamingMap",
+    "TileStore",
+    "build_pointcloud_map",
+    "decode_map",
+    "encode_map",
+    "load_map",
+    "map_from_dict",
+    "map_to_dict",
+    "save_map",
+    "storage_report",
+]

@@ -1,0 +1,163 @@
+"""Tile-based map streaming with an LRU working set.
+
+The survey closes on the open problem of managing "enormous map data"
+efficiently [73]: a vehicle cannot hold a country-scale HD map in memory.
+``TileStore`` shards a map into compact-binary tiles; ``StreamingMap``
+serves spatial queries out of a bounded LRU working set, loading and
+evicting tiles as the query position moves — the access pattern a driving
+vehicle produces.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.elements import Lane, MapElement, PointLandmark
+from repro.core.hdmap import HDMap
+from repro.core.tiles import TileId, TileScheme
+from repro.errors import StorageError
+from repro.storage.binary import decode_map, encode_map
+
+
+@dataclass
+class TileStoreStats:
+    loads: int = 0
+    evictions: int = 0
+    hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.loads
+        return self.hits / total if total else 0.0
+
+
+class TileStore:
+    """Immutable sharded storage: one compact blob per non-empty tile."""
+
+    def __init__(self, tile_size: float = 500.0) -> None:
+        self.scheme = TileScheme(tile_size)
+        self._blobs: Dict[TileId, bytes] = {}
+
+    @staticmethod
+    def build(hdmap: HDMap, tile_size: float = 500.0) -> "TileStore":
+        """Shard ``hdmap`` into per-tile blobs.
+
+        Elements spanning several tiles are replicated into each one they
+        intersect (queries deduplicate by element id), so border elements
+        are always found regardless of which tile a query lands in.
+        """
+        store = TileStore(tile_size)
+        members: Dict[TileId, List[MapElement]] = {}
+        for element in hdmap.elements():
+            try:
+                bounds = element.bounds()
+            except NotImplementedError:
+                continue  # regulatory elements are not spatial
+            for tile in store.scheme.tiles_for_bounds(bounds):
+                members.setdefault(tile, []).append(element)
+        for tile, elements in members.items():
+            shard = HDMap(f"{hdmap.name}@{tile}")
+            for element in elements:
+                shard.add(element)
+            store._blobs[tile] = encode_map(shard)
+        return store
+
+    def tiles(self) -> List[TileId]:
+        return sorted(self._blobs)
+
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs.values())
+
+    def load_tile(self, tile: TileId) -> Optional[HDMap]:
+        blob = self._blobs.get(tile)
+        if blob is None:
+            return None
+        return decode_map(blob)
+
+
+class StreamingMap:
+    """A bounded-memory map view backed by a :class:`TileStore`.
+
+    Queries hit only the tiles intersecting the query region; tiles are
+    decoded on demand and evicted LRU once ``max_tiles`` are resident.
+    """
+
+    def __init__(self, store: TileStore, max_tiles: int = 9) -> None:
+        if max_tiles < 1:
+            raise StorageError("max_tiles must be >= 1")
+        self.store = store
+        self.max_tiles = max_tiles
+        self._resident: "OrderedDict[TileId, Optional[HDMap]]" = OrderedDict()
+        self.stats = TileStoreStats()
+
+    # ------------------------------------------------------------------
+    def _tile(self, tile: TileId) -> Optional[HDMap]:
+        if tile in self._resident:
+            self._resident.move_to_end(tile)
+            self.stats.hits += 1
+            return self._resident[tile]
+        shard = self.store.load_tile(tile)
+        self.stats.loads += 1
+        self._resident[tile] = shard
+        while len(self._resident) > self.max_tiles:
+            self._resident.popitem(last=False)
+            self.stats.evictions += 1
+        return shard
+
+    def resident_tiles(self) -> List[TileId]:
+        return list(self._resident)
+
+    def resident_bytes(self) -> int:
+        """Approximate working-set size: encoded size of resident tiles."""
+        return sum(len(self.store._blobs.get(t, b""))
+                   for t in self._resident)
+
+    # ------------------------------------------------------------------
+    def elements_in_radius(self, x: float, y: float, radius: float
+                           ) -> List[MapElement]:
+        out: List[MapElement] = []
+        seen = set()
+        bounds = (x - radius, y - radius, x + radius, y + radius)
+        for tile in self.store.scheme.tiles_for_bounds(bounds):
+            shard = self._tile(tile)
+            if shard is None:
+                continue
+            for element in shard.elements_in_radius(x, y, radius):
+                if element.id not in seen:
+                    seen.add(element.id)
+                    out.append(element)
+        return out
+
+    def landmarks_in_radius(self, x: float, y: float, radius: float
+                            ) -> List[PointLandmark]:
+        out: List[PointLandmark] = []
+        seen = set()
+        bounds = (x - radius, y - radius, x + radius, y + radius)
+        for tile in self.store.scheme.tiles_for_bounds(bounds):
+            shard = self._tile(tile)
+            if shard is None:
+                continue
+            for lm in shard.landmarks_in_radius(x, y, radius):
+                if lm.id not in seen:
+                    seen.add(lm.id)
+                    out.append(lm)
+        return out
+
+    def nearest_lane(self, x: float, y: float,
+                     search_radius: float = 100.0) -> Tuple[Lane, float]:
+        best: Optional[Lane] = None
+        best_d = float("inf")
+        point = np.array([x, y])
+        for element in self.elements_in_radius(x, y, search_radius):
+            if isinstance(element, Lane):
+                d = element.centerline.distance_to(point)
+                if d < best_d:
+                    best, best_d = element, d
+        if best is None:
+            raise StorageError(
+                f"no lane within {search_radius} m of ({x:.0f}, {y:.0f})")
+        return best, best_d

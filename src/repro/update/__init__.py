@@ -1,0 +1,55 @@
+"""Map maintenance and update pipelines.
+
+- :mod:`repro.update.dbn` — discrete dynamic-Bayesian-network substrate;
+- :mod:`repro.update.slamcu` — SLAMCU [41]: simultaneous localization and
+  map-change update (the survey's Figure 2 system);
+- :mod:`repro.update.crowd_update` — Pannen et al. [42], [44]: FCD change
+  detection, job creation, and map updating with single- vs
+  multi-traversal classification;
+- :mod:`repro.update.incremental_fusion` — Liu et al. [43]: Kalman fusion
+  of repeated measurements with confidence + time decay;
+- :mod:`repro.update.lane_learner` — Kim et al. [45]: geometric lane
+  learning from low-cost crowd data;
+- :mod:`repro.update.diffnet` — Diff-Net [46]: rasterized map-vs-camera
+  differencing;
+- :mod:`repro.update.mec` — Qi et al. [47]: RSU/MEC distributed
+  crowd-sensing update with edge pre-processing.
+"""
+
+from repro.update.dbn import DiscreteDBN, FeatureState
+from repro.update.slamcu import Slamcu, SlamcuReport
+from repro.update.crowd_update import (
+    ChangeClassifier,
+    CrowdUpdatePipeline,
+    TraversalFeatures,
+)
+from repro.update.incremental_fusion import FusedElement, IncrementalFuser
+from repro.update.lane_learner import LaneLearner
+from repro.update.diffnet import DiffNet, DiffRegion
+from repro.update.distribution import (
+    ConflictPolicy,
+    MapDistributionServer,
+    VehicleMapClient,
+)
+from repro.update.mec import CentralAggregator, MecServer, RsuRegion
+
+__all__ = [
+    "CentralAggregator",
+    "ChangeClassifier",
+    "ConflictPolicy",
+    "MapDistributionServer",
+    "VehicleMapClient",
+    "CrowdUpdatePipeline",
+    "DiffNet",
+    "DiffRegion",
+    "DiscreteDBN",
+    "FeatureState",
+    "FusedElement",
+    "IncrementalFuser",
+    "LaneLearner",
+    "MecServer",
+    "RsuRegion",
+    "Slamcu",
+    "SlamcuReport",
+    "TraversalFeatures",
+]

@@ -1,0 +1,185 @@
+"""Map distribution: the shared HD-map database and its subscribers.
+
+SLAMCU's detected changes "are reported to the HD map database for
+sharing with other vehicles/systems" [41]; Pannen et al.'s jobs feed a
+fleet-wide map [44]. This module is that database: it ingests patches
+from multiple independent pipelines with conflict resolution, versions
+them atomically, and lets vehicles synchronize incrementally ("give me
+everything since version N") instead of re-downloading the map.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.changes import MapChange
+from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId
+from repro.core.versioning import (
+    AddElement,
+    MapPatch,
+    RemoveElement,
+    ReplaceElement,
+    VersionedMap,
+)
+from repro.errors import UpdateError
+
+
+class ConflictPolicy(enum.Enum):
+    REJECT = "reject"  # refuse patches touching recently-touched elements
+    LAST_WRITER_WINS = "last_writer_wins"
+    HIGHEST_CONFIDENCE = "highest_confidence"
+
+
+@dataclass
+class IngestResult:
+    accepted: bool
+    version: Optional[int]
+    dropped_ops: int
+    reason: str = ""
+
+
+@dataclass
+class _Provenance:
+    source: str
+    confidence: float
+    version: int
+
+
+class MapDistributionServer:
+    """The authoritative, versioned HD-map database."""
+
+    def __init__(self, base: HDMap,
+                 policy: ConflictPolicy = ConflictPolicy.HIGHEST_CONFIDENCE,
+                 conflict_window: int = 3) -> None:
+        self.db = VersionedMap(base)
+        self.policy = policy
+        self.conflict_window = conflict_window
+        self._touched: Dict[ElementId, _Provenance] = {}
+
+    @property
+    def version(self) -> int:
+        return self.db.version
+
+    # ------------------------------------------------------------------
+    def _op_target(self, op) -> ElementId:
+        if isinstance(op, AddElement):
+            return op.element.id
+        if isinstance(op, RemoveElement):
+            return op.element_id
+        if isinstance(op, ReplaceElement):
+            return op.element.id
+        raise UpdateError(f"unknown op {op!r}")
+
+    def _conflicts(self, patch: MapPatch) -> List[Tuple[object, _Provenance]]:
+        out = []
+        for op in patch.ops:
+            target = self._op_target(op)
+            previous = self._touched.get(target)
+            if previous is None:
+                continue
+            if self.version - previous.version < self.conflict_window:
+                out.append((op, previous))
+        return out
+
+    # ------------------------------------------------------------------
+    def ingest(self, patch: MapPatch) -> IngestResult:
+        """Apply a pipeline's patch under the conflict policy."""
+        if not patch.ops:
+            return IngestResult(False, None, 0, "empty patch")
+        conflicts = self._conflicts(patch)
+        ops = list(patch.ops)
+        dropped = 0
+        if conflicts:
+            if self.policy is ConflictPolicy.REJECT:
+                return IngestResult(False, None, len(ops),
+                                    f"{len(conflicts)} conflicting op(s)")
+            if self.policy is ConflictPolicy.HIGHEST_CONFIDENCE:
+                losing = {id(op) for op, prev in conflicts
+                          if patch.confidence <= prev.confidence}
+                dropped = len(losing)
+                ops = [op for op in ops if id(op) not in losing]
+            # LAST_WRITER_WINS keeps every op.
+        if not ops:
+            return IngestResult(False, None, dropped,
+                                "all ops lost their conflicts")
+        filtered = MapPatch(ops=ops, source=patch.source,
+                            confidence=patch.confidence)
+        version = self.db.apply(filtered)
+        for op in ops:
+            self._touched[self._op_target(op)] = _Provenance(
+                source=patch.source, confidence=patch.confidence,
+                version=version)
+        return IngestResult(True, version, dropped)
+
+    # ------------------------------------------------------------------
+    def changes_since(self, version: int) -> List[MapChange]:
+        return self.db.changes_since(version)
+
+    def snapshot(self) -> HDMap:
+        return self.db.map.copy()
+
+
+@dataclass
+class VehicleMapClient:
+    """A vehicle's local map, kept current by incremental sync."""
+
+    server: MapDistributionServer
+    local: HDMap = None  # type: ignore[assignment]
+    synced_version: int = -1
+    bytes_downloaded: int = 0
+
+    CHANGE_RECORD_BYTES = 48
+
+    def __post_init__(self) -> None:
+        if self.local is None:
+            self.bootstrap()
+
+    def bootstrap(self) -> None:
+        """Full download (what incremental sync avoids afterwards)."""
+        from repro.storage.binary import encode_map
+
+        snapshot = self.server.snapshot()
+        self.bytes_downloaded += len(encode_map(snapshot))
+        self.local = snapshot
+        self.synced_version = self.server.version
+
+    def sync(self) -> int:
+        """Incremental update; returns the number of changes applied.
+
+        Change records describe what happened; the client re-fetches the
+        touched elements from the server snapshot (element-level delta).
+        """
+        if self.synced_version == self.server.version:
+            return 0
+        changes = self.server.changes_since(self.synced_version)
+        snapshot = self.server.db.map
+        applied = 0
+        for change in changes:
+            eid = change.element_id
+            self.bytes_downloaded += self.CHANGE_RECORD_BYTES
+            in_server = eid in snapshot
+            in_local = eid in self.local
+            if in_server:
+                import copy
+
+                element = copy.copy(snapshot.get(eid))
+                if in_local:
+                    self.local.replace(element)
+                else:
+                    self.local.add(element)
+            elif in_local:
+                self.local.remove(eid)
+            applied += 1
+        self.synced_version = self.server.version
+        return applied
+
+    def is_consistent(self) -> bool:
+        """Local matches the server snapshot element-for-element."""
+        server_ids = {e.id for e in self.server.db.map.elements()}
+        local_ids = {e.id for e in self.local.elements()}
+        return server_ids == local_ids

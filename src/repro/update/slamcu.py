@@ -1,0 +1,215 @@
+"""SLAMCU: Simultaneous Localization and Map Change Update (Jo et al. [41]).
+
+One vehicle drives a (20 km highway, in the paper) route while localizing
+against the prior HD map. Two inference threads run per traversal:
+
+- *existing features*: a PRESENT/REMOVED DBN per mapped sign, driven by
+  detected / expected-but-missed observations inside the sensor envelope;
+- *new features*: unmatched detections are clustered and position-estimated
+  from the vehicle's (imperfect) localization — the source of the paper's
+  Figure 2 error histogram (mean 0.8 m, sigma 0.9 m).
+
+Detected changes are emitted as a :class:`~repro.core.versioning.MapPatch`
+for the map database, and scored against the scenario ground truth
+(96.12 % change accuracy in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.changes import ChangeType, MapChange
+from repro.core.elements import SignType, TrafficSign
+from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId
+from repro.core.versioning import MapPatch
+from repro.eval.metrics import ErrorStats, error_stats
+from repro.geometry.transform import SE2
+from repro.sensors.camera import Camera, SignDetection
+from repro.update.dbn import DiscreteDBN
+from repro.world.scenario import Scenario
+from repro.world.traffic import Trajectory
+
+
+@dataclass
+class SlamcuReport:
+    """Everything the paper reports: changes, accuracy, error histogram."""
+
+    detected_changes: List[MapChange]
+    patch: MapPatch
+    change_accuracy: float  # correct change decisions / all decisions
+    new_feature_errors: ErrorStats  # position error of estimated new signs
+    position_errors: List[float] = field(default_factory=list)
+
+
+class Slamcu:
+    """Per-traversal change detector against a prior map."""
+
+    def __init__(self, prior: HDMap,
+                 camera: Optional[Camera] = None,
+                 localization_sigma: float = 0.35,
+                 removal_threshold: float = 0.25,
+                 new_feature_min_obs: int = 4,
+                 match_radius: float = 3.0) -> None:
+        self.prior = prior
+        self.camera = camera if camera is not None else Camera(
+            detection_prob=0.9, false_positive_rate=0.03)
+        self.localization_sigma = localization_sigma
+        self.removal_threshold = removal_threshold
+        self.new_feature_min_obs = new_feature_min_obs
+        self.match_radius = match_radius
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario, trajectories, rng: np.random.Generator,
+            frame_dt: float = 0.5) -> SlamcuReport:
+        """Run change detection over one trajectory or a list of them.
+
+        Multiple traversals (e.g. both directions of a highway) extend
+        coverage and harden the DBN decisions, as in the paper's 20 km
+        evaluation drive.
+        """
+        if isinstance(trajectories, Trajectory):
+            trajectories = [trajectories]
+        reality = scenario.reality
+        dbns: Dict[ElementId, DiscreteDBN] = {
+            sign.id: DiscreteDBN.presence_chain()
+            for sign in self.prior.signs()
+        }
+        unmatched_obs: List[np.ndarray] = []
+
+        for trajectory in trajectories:
+            t = trajectory.start_time
+            while t <= trajectory.end_time:
+                true_pose = trajectory.pose_at(t)
+                est_pose = self._localized_pose(true_pose, rng)
+                detections = self.camera.observe_signs(reality, true_pose,
+                                                       rng, t=t)
+                self._process_frame(est_pose, detections, dbns, unmatched_obs)
+                t += frame_dt
+
+        changes, patch, raw_errors = self._conclude(
+            dbns, unmatched_obs, scenario, rng)
+        accuracy = self._accuracy(changes, scenario)
+        stats_input = raw_errors if raw_errors else [float("nan")]
+        return SlamcuReport(
+            detected_changes=changes,
+            patch=patch,
+            change_accuracy=accuracy,
+            new_feature_errors=error_stats(stats_input),
+            position_errors=raw_errors,
+        )
+
+    # ------------------------------------------------------------------
+    def _localized_pose(self, true_pose: SE2,
+                        rng: np.random.Generator) -> SE2:
+        """Map-based localization surrogate with the configured sigma."""
+        return SE2(
+            true_pose.x + float(rng.normal(0, self.localization_sigma)),
+            true_pose.y + float(rng.normal(0, self.localization_sigma)),
+            true_pose.theta + float(rng.normal(0, 0.01)),
+        )
+
+    def _process_frame(self, est_pose: SE2,
+                       detections: Sequence[SignDetection],
+                       dbns: Dict[ElementId, DiscreteDBN],
+                       unmatched_obs: List[np.ndarray]) -> None:
+        # Which prior signs should be visible from here?
+        expected = [
+            sign for sign in self.prior.landmarks_in_radius(
+                est_pose.x, est_pose.y, self.camera.max_range)
+            if isinstance(sign, TrafficSign)
+            and self.camera.in_view(est_pose, sign.position)
+        ]
+        det_world = [est_pose.apply(d.body_frame_position())
+                     for d in detections]
+        used = [False] * len(det_world)
+        for sign in expected:
+            matched = False
+            for i, world in enumerate(det_world):
+                if used[i]:
+                    continue
+                if float(np.hypot(*(world - sign.position))) <= self.match_radius:
+                    used[i] = True
+                    matched = True
+                    break
+            # Likelihood of (detected | present) vs (detected | removed).
+            if matched:
+                dbns[sign.id].step([self.camera.detection_prob, 0.05])
+            else:
+                dbns[sign.id].step([1.0 - self.camera.detection_prob, 0.95])
+        for i, world in enumerate(det_world):
+            if not used[i]:
+                unmatched_obs.append(world)
+
+    # ------------------------------------------------------------------
+    def _conclude(self, dbns: Dict[ElementId, DiscreteDBN],
+                  unmatched_obs: List[np.ndarray], scenario: Scenario,
+                  rng: np.random.Generator
+                  ) -> Tuple[List[MapChange], MapPatch, List[float]]:
+        changes: List[MapChange] = []
+        patch = MapPatch(source="slamcu")
+
+        # Removed features: presence belief collapsed.
+        for sign_id, dbn in dbns.items():
+            if dbn.probability(0) < self.removal_threshold:
+                sign = self.prior.get(sign_id)
+                assert isinstance(sign, TrafficSign)
+                changes.append(MapChange(
+                    ChangeType.REMOVED, sign_id,
+                    (float(sign.position[0]), float(sign.position[1])),
+                ))
+                patch.remove(sign_id)
+
+        # New features: cluster the unmatched observations.
+        new_errors: List[float] = []
+        if unmatched_obs:
+            from repro.creation.crowdsource import _greedy_cluster
+
+            pts = np.array(unmatched_obs)
+            clusters = _greedy_cluster(pts, self.match_radius)
+            truth_new = [c for c in scenario.true_changes
+                         if c.change_type is ChangeType.ADDED]
+            for members in clusters:
+                if len(members) < self.new_feature_min_obs:
+                    continue
+                position = pts[members].mean(axis=0)
+                eid = self.prior.new_id("sign")
+                changes.append(MapChange(
+                    ChangeType.ADDED, eid,
+                    (float(position[0]), float(position[1])),
+                ))
+                patch.add(TrafficSign(id=eid, position=position,
+                                      sign_type=SignType.DIRECTION))
+                # Position error vs the nearest true added sign.
+                if truth_new:
+                    d = min(
+                        float(np.hypot(position[0] - c.position[0],
+                                       position[1] - c.position[1]))
+                        for c in truth_new
+                    )
+                    if d <= self.match_radius * 2:
+                        new_errors.append(d)
+        return changes, patch, new_errors
+
+    # ------------------------------------------------------------------
+    def _accuracy(self, detected: Sequence[MapChange],
+                  scenario: Scenario) -> float:
+        """Fraction of correct change decisions.
+
+        Decisions = one per true change (found or missed) + one per false
+        detection; the paper's "accuracy of estimated map changes".
+        """
+        from repro.core.changes import match_changes
+
+        relevant_truth = [c for c in scenario.true_changes
+                          if c.change_type in (ChangeType.ADDED,
+                                               ChangeType.REMOVED)]
+        counts = match_changes(list(detected), relevant_truth,
+                               radius=self.match_radius * 2)
+        total = counts["tp"] + counts["fp"] + counts["fn"]
+        if total == 0:
+            return 1.0
+        return counts["tp"] / total

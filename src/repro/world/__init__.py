@@ -1,0 +1,47 @@
+"""Ground-truth world substrate.
+
+The surveyed systems were evaluated on real roads we do not have; this
+subpackage provides the synthetic equivalent: parametric road networks with
+known-true geometry (the error-free reference every experiment scores
+against), trajectories driven over them, elevation profiles, and change
+scenarios (construction sites, sign swaps) for the maintenance pipelines.
+"""
+
+from repro.world.builder import RoadSpec, WorldBuilder
+from repro.world.elevation import ElevationProfile
+from repro.world.generator import (
+    generate_factory_floor,
+    generate_grid_city,
+    generate_highway,
+)
+from repro.world.hdmapgen import (
+    HDMapGenSampler,
+    MapStatistics,
+    MapTopologySpec,
+    map_statistics,
+)
+from repro.world.osm import OsmDocument, import_osm
+from repro.world.scenario import ChangeSpec, Scenario, apply_changes
+from repro.world.traffic import TimedPose, Trajectory, drive_lane_sequence, drive_route
+
+__all__ = [
+    "ChangeSpec",
+    "ElevationProfile",
+    "HDMapGenSampler",
+    "MapStatistics",
+    "MapTopologySpec",
+    "OsmDocument",
+    "import_osm",
+    "map_statistics",
+    "RoadSpec",
+    "Scenario",
+    "TimedPose",
+    "Trajectory",
+    "WorldBuilder",
+    "apply_changes",
+    "drive_lane_sequence",
+    "drive_route",
+    "generate_factory_floor",
+    "generate_grid_city",
+    "generate_highway",
+]

@@ -1,0 +1,82 @@
+"""CLI: generate / stats / validate / route / taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def map_file(tmp_path):
+    path = tmp_path / "city.json"
+    assert main(["generate", "--kind", "city", "--seed", "3",
+                 "--size", "3", "--out", str(path)]) == 0
+    return path
+
+
+class TestCli:
+    def test_generate_city(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        assert main(["generate", "--kind", "city", "--seed", "3",
+                     "--size", "2", "--out", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert path.exists()
+
+    def test_generate_highway(self, tmp_path):
+        path = tmp_path / "hw.json"
+        assert main(["generate", "--kind", "highway", "--size", "2",
+                     "--out", str(path)]) == 0
+        assert path.exists()
+
+    def test_generate_sampled(self, tmp_path):
+        path = tmp_path / "s.json"
+        assert main(["generate", "--kind", "sampled", "--seed", "1",
+                     "--out", str(path)]) == 0
+
+    def test_stats(self, map_file, capsys):
+        assert main(["stats", str(map_file)]) == 0
+        out = capsys.readouterr().out
+        assert "lane length" in out
+        assert "junction degree" in out
+
+    def test_validate_clean_map(self, map_file, capsys):
+        assert main(["validate", str(map_file)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_validate_broken_map_exits_nonzero(self, tmp_path):
+        from repro.core import HDMap, Lane
+        from repro.core.ids import ElementId
+        from repro.geometry.polyline import straight
+        from repro.storage import save_map
+
+        hdmap = HDMap("bad")
+        hdmap.create(Lane, centerline=straight([0, 0], [50, 0]),
+                     left_boundary=ElementId("boundary", 99))
+        path = tmp_path / "bad.json"
+        save_map(hdmap, path)
+        assert main(["validate", str(path)]) == 1
+
+    def test_route_with_guidance(self, map_file, capsys):
+        assert main(["route", str(map_file), "--from", "30,30",
+                     "--to", "350,250"]) == 0
+        out = capsys.readouterr().out
+        assert "route:" in out
+        assert "depart" in out and "arrive" in out
+
+    def test_route_bad_point_format(self, map_file):
+        with pytest.raises(SystemExit):
+            main(["route", str(map_file), "--from", "30",
+                  "--to", "350,250"])
+
+    def test_taxonomy(self, capsys):
+        assert main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "Localization" in out
+
+    def test_reproducible_generation(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["generate", "--kind", "city", "--seed", "9", "--out", str(a)])
+        main(["generate", "--kind", "city", "--seed", "9", "--out", str(b)])
+        assert a.read_text() == b.read_text()

@@ -1,0 +1,192 @@
+"""Frenet frames, geodesy, rasters, and the grid index."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.frenet import FrenetFrame
+from repro.geometry.geodesy import (
+    LocalProjector,
+    haversine_distance,
+    metres_to_miles,
+    miles_to_metres,
+)
+from repro.geometry.index import GridIndex
+from repro.geometry.polyline import straight
+from repro.geometry.raster import BitmaskRaster, GridSpec, RasterGrid
+
+
+class TestFrenet:
+    def setup_method(self):
+        self.frame = FrenetFrame(straight([0, 0], [100, 0], spacing=5.0))
+
+    def test_roundtrip(self):
+        fp = self.frame.to_frenet([40.0, 3.0])
+        assert fp.s == pytest.approx(40.0)
+        assert fp.d == pytest.approx(3.0)
+        back = self.frame.to_cartesian(fp.s, fp.d)
+        assert np.allclose(back, [40.0, 3.0])
+
+    def test_path_to_cartesian(self):
+        pts = self.frame.path_to_cartesian(np.array([0.0, 50.0]),
+                                           np.array([1.0, -1.0]))
+        assert np.allclose(pts, [[0, 1], [50, -1]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            self.frame.path_to_cartesian(np.zeros(3), np.zeros(4))
+
+
+class TestGeodesy:
+    def test_local_roundtrip(self):
+        proj = LocalProjector(lat0=33.97, lon0=-117.33)  # Riverside, CA
+        lat = np.array([33.975, 33.96])
+        lon = np.array([-117.32, -117.34])
+        local = proj.to_local(lat, lon)
+        lat2, lon2 = proj.to_geographic(local)
+        assert np.allclose(lat, lat2, atol=1e-9)
+        assert np.allclose(lon, lon2, atol=1e-9)
+
+    def test_one_degree_latitude_is_about_111km(self):
+        proj = LocalProjector(0.0, 0.0)
+        local = proj.to_local(np.array([1.0]), np.array([0.0]))
+        assert local[0, 1] == pytest.approx(110574.0, rel=0.01)
+
+    def test_haversine_matches_projection_nearby(self):
+        proj = LocalProjector(40.0, -75.0)
+        local = proj.to_local(np.array([40.01]), np.array([-75.0]))
+        hav = haversine_distance(40.0, -75.0, 40.01, -75.0)
+        assert hav == pytest.approx(float(local[0, 1]), rel=0.01)
+
+    def test_mile_conversion_roundtrip(self):
+        assert metres_to_miles(miles_to_metres(3.7)) == pytest.approx(3.7)
+
+
+class TestRasterGrid:
+    def test_spec_from_bounds(self):
+        spec = GridSpec.from_bounds((0, 0, 10, 5), 0.5)
+        assert spec.width == 20
+        assert spec.height == 10
+
+    def test_spec_rejects_bad_resolution(self):
+        with pytest.raises(GeometryError):
+            GridSpec.from_bounds((0, 0, 1, 1), 0.0)
+
+    def test_world_cell_roundtrip(self):
+        spec = GridSpec.from_bounds((0, 0, 10, 10), 1.0)
+        cells = spec.world_to_cell(np.array([[2.4, 7.9]]))
+        assert tuple(cells[0]) == (2, 7)
+        centre = spec.cell_to_world(cells)
+        assert np.allclose(centre[0], [2.5, 7.5])
+
+    def test_set_points_and_sample(self):
+        grid = RasterGrid(GridSpec.from_bounds((0, 0, 10, 10), 1.0))
+        n = grid.set_points(np.array([[1.5, 1.5], [50.0, 50.0]]), 2.0)
+        assert n == 1  # out-of-range point ignored
+        assert grid.sample(np.array([[1.5, 1.5]]))[0] == 2.0
+        assert grid.sample(np.array([[50.0, 50.0]]), outside=-1.0)[0] == -1.0
+
+    def test_add_points_accumulates(self):
+        grid = RasterGrid(GridSpec.from_bounds((0, 0, 4, 4), 1.0))
+        pts = np.array([[0.5, 0.5], [0.6, 0.6]])
+        grid.add_points(pts)
+        assert grid.data[0, 0] == 2.0
+
+    def test_draw_polyline_thickness(self):
+        grid = RasterGrid(GridSpec.from_bounds((0, 0, 20, 10), 0.5))
+        grid.draw_polyline(straight([2, 5], [18, 5]), thickness=2.0)
+        # Cells 1 m above the line must be set.
+        assert grid.sample(np.array([[10.0, 5.8]]))[0] == 1.0
+        assert grid.sample(np.array([[10.0, 8.0]]))[0] == 0.0
+
+
+class TestBitmaskRaster:
+    def setup_method(self):
+        spec = GridSpec.from_bounds((0, 0, 20, 10), 0.5)
+        self.raster = BitmaskRaster(spec, ["marking", "edge"])
+
+    def test_class_limit(self):
+        with pytest.raises(GeometryError):
+            BitmaskRaster(self.raster.spec, [f"c{i}" for i in range(9)])
+
+    def test_duplicate_classes_rejected(self):
+        with pytest.raises(GeometryError):
+            BitmaskRaster(self.raster.spec, ["a", "a"])
+
+    def test_bits_are_independent(self):
+        self.raster.mark_points("marking", np.array([[5.0, 5.0]]))
+        self.raster.mark_points("edge", np.array([[5.0, 5.0]]))
+        assert self.raster.layer("marking")[10, 10]
+        assert self.raster.layer("edge")[10, 10]
+
+    def test_unknown_class(self):
+        with pytest.raises(GeometryError):
+            self.raster.bit_of("nope")
+
+    def test_match_score_perfect_and_shifted(self):
+        line = straight([2, 5], [18, 5])
+        self.raster.mark_polyline("marking", line)
+        obs = BitmaskRaster(self.raster.spec, ["marking", "edge"])
+        obs.mark_polyline("marking", line)
+        assert self.raster.match_score(obs) == pytest.approx(1.0)
+        shifted = obs.shifted(0, 4)  # 2 m off
+        assert self.raster.match_score(shifted) < 0.2
+
+    def test_match_score_empty_observation(self):
+        obs = BitmaskRaster(self.raster.spec, ["marking", "edge"])
+        assert self.raster.match_score(obs) == 0.0
+
+
+class TestGridIndex:
+    def test_insert_query_point(self):
+        idx = GridIndex(10.0)
+        idx.insert("a", (0, 0, 5, 5))
+        idx.insert("b", (20, 20, 30, 30))
+        assert idx.query_point(2, 2) == ["a"]
+        assert idx.query_point(50, 50) == []
+
+    def test_query_box_intersection(self):
+        idx = GridIndex(10.0)
+        idx.insert("a", (0, 0, 5, 5))
+        idx.insert("b", (8, 8, 12, 12))
+        hits = set(idx.query_box((4, 4, 9, 9)))
+        assert hits == {"a", "b"}
+
+    def test_remove(self):
+        idx = GridIndex(10.0)
+        idx.insert("a", (0, 0, 5, 5))
+        idx.remove("a")
+        assert "a" not in idx
+        assert idx.query_point(2, 2) == []
+
+    def test_reinsert_updates_bounds(self):
+        idx = GridIndex(10.0)
+        idx.insert("a", (0, 0, 1, 1))
+        idx.insert("a", (100, 100, 101, 101))
+        assert idx.query_point(0.5, 0.5) == []
+        assert idx.query_point(100.5, 100.5) == ["a"]
+
+    def test_nearest_with_exact_distance(self):
+        idx = GridIndex(10.0)
+        centres = {"a": (0.0, 0.0), "b": (50.0, 0.0), "c": (7.0, 7.0)}
+        for key, (x, y) in centres.items():
+            idx.insert(key, (x, y, x, y))
+
+        def dist(key):
+            cx, cy = centres[key]
+            return math.hypot(cx - 6.0, cy - 6.0)
+
+        key, d = idx.nearest(6.0, 6.0, dist)
+        assert key == "c"
+        assert d == pytest.approx(math.hypot(1.0, 1.0))
+
+    def test_nearest_empty_raises(self):
+        with pytest.raises(GeometryError):
+            GridIndex(10.0).nearest(0, 0, lambda k: 0.0)
+
+    def test_invalid_bounds(self):
+        idx = GridIndex(10.0)
+        with pytest.raises(GeometryError):
+            idx.insert("a", (5, 5, 0, 0))

@@ -1,0 +1,99 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import (
+    angle_diff,
+    as_point,
+    heading_of,
+    heading_to_unit,
+    norm,
+    perp_left,
+    point_in_polygon,
+    polygon_area,
+    rotate2d,
+    segment_point_distance,
+    unit,
+    wrap_angle,
+)
+
+
+def test_norm_and_unit():
+    assert norm([3.0, 4.0]) == pytest.approx(5.0)
+    u = unit([3.0, 4.0])
+    assert np.allclose(u, [0.6, 0.8])
+
+
+def test_unit_zero_vector_raises():
+    with pytest.raises(ValueError):
+        unit([0.0, 0.0])
+
+
+def test_as_point_shape_check():
+    with pytest.raises(ValueError):
+        as_point([1.0, 2.0, 3.0])
+
+
+def test_perp_left_is_ccw_quarter_turn():
+    assert np.allclose(perp_left([1.0, 0.0]), [0.0, 1.0])
+    assert np.allclose(perp_left([0.0, 1.0]), [-1.0, 0.0])
+
+
+def test_rotate2d_single_and_batch():
+    p = rotate2d([1.0, 0.0], math.pi / 2)
+    assert np.allclose(p, [0.0, 1.0], atol=1e-12)
+    batch = rotate2d(np.array([[1.0, 0.0], [0.0, 1.0]]), math.pi)
+    assert np.allclose(batch, [[-1.0, 0.0], [0.0, -1.0]], atol=1e-12)
+
+
+def test_heading_roundtrip():
+    for h in np.linspace(-3.0, 3.0, 13):
+        assert heading_of(heading_to_unit(h)) == pytest.approx(h)
+
+
+def test_wrap_angle_range():
+    for a in np.linspace(-20.0, 20.0, 101):
+        w = wrap_angle(float(a))
+        assert -math.pi < w <= math.pi
+        # Same direction after wrapping.
+        assert math.cos(w - a) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_angle_diff_signed_shortest():
+    assert angle_diff(0.1, -0.1) == pytest.approx(0.2)
+    assert angle_diff(math.pi - 0.05, -math.pi + 0.05) == pytest.approx(-0.1)
+
+
+def test_segment_point_distance_interior_and_clamped():
+    d, t = segment_point_distance([0, 0], [10, 0], [5, 3])
+    assert d == pytest.approx(3.0)
+    assert t == pytest.approx(0.5)
+    d, t = segment_point_distance([0, 0], [10, 0], [-4, 3])
+    assert d == pytest.approx(5.0)
+    assert t == 0.0
+
+
+def test_segment_point_distance_degenerate_segment():
+    d, t = segment_point_distance([2, 2], [2, 2], [5, 6])
+    assert d == pytest.approx(5.0)
+    assert t == 0.0
+
+
+def test_polygon_area_signs():
+    square_ccw = [[0, 0], [2, 0], [2, 2], [0, 2]]
+    assert polygon_area(square_ccw) == pytest.approx(4.0)
+    assert polygon_area(square_ccw[::-1]) == pytest.approx(-4.0)
+
+
+def test_polygon_area_rejects_degenerate():
+    with pytest.raises(ValueError):
+        polygon_area([[0, 0], [1, 1]])
+
+
+def test_point_in_polygon():
+    square = np.array([[0, 0], [4, 0], [4, 4], [0, 4]], dtype=float)
+    assert point_in_polygon([2, 2], square)
+    assert not point_in_polygon([5, 2], square)
+    # Boundary counts as inside.
+    assert point_in_polygon([4, 2], square)

@@ -1,0 +1,134 @@
+"""Particle filter and EKF substrates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LocalizationError
+from repro.geometry.transform import SE2
+from repro.localization import ParticleFilter2D, PoseEKF
+
+
+class TestParticleFilter:
+    def test_init_gaussian_statistics(self, rng):
+        pf = ParticleFilter2D(2000, rng)
+        pf.init_gaussian(SE2(10.0, -5.0, 0.5), sigma_xy=2.0, sigma_theta=0.1)
+        assert pf.states[:, 0].mean() == pytest.approx(10.0, abs=0.2)
+        assert pf.states[:, 0].std() == pytest.approx(2.0, abs=0.2)
+
+    def test_needs_two_particles(self, rng):
+        with pytest.raises(LocalizationError):
+            ParticleFilter2D(1, rng)
+
+    def test_predict_moves_mean_forward(self, rng):
+        pf = ParticleFilter2D(500, rng)
+        pf.init_gaussian(SE2(0, 0, 0), 0.01, 0.001)
+        pf.predict(10.0, 0.0, sigma_ds=0.01, sigma_dtheta=0.001)
+        est = pf.estimate()
+        assert est.x == pytest.approx(10.0, abs=0.1)
+
+    def test_update_concentrates_weight(self, rng):
+        pf = ParticleFilter2D(500, rng)
+        pf.init_gaussian(SE2(0, 0, 0), 5.0, 0.1)
+
+        def weight(states):
+            return np.exp(-0.5 * ((states[:, 0] - 3.0)**2
+                                  + states[:, 1]**2))
+
+        pf.update(weight)
+        est = pf.estimate()
+        assert est.x == pytest.approx(3.0, abs=0.6)
+
+    def test_update_rejects_bad_shape(self, rng):
+        pf = ParticleFilter2D(100, rng)
+        pf.init_gaussian(SE2(0, 0, 0), 1.0, 0.1)
+        with pytest.raises(LocalizationError):
+            pf.update(lambda s: np.ones(3))
+
+    def test_degenerate_update_resets_uniform(self, rng):
+        pf = ParticleFilter2D(100, rng)
+        pf.init_gaussian(SE2(0, 0, 0), 1.0, 0.1)
+        pf.update(lambda s: np.zeros(s.shape[0]))
+        assert np.allclose(pf.weights, 1.0 / 100)
+
+    def test_resample_resets_weights_preserves_mass_location(self, rng):
+        pf = ParticleFilter2D(1000, rng)
+        pf.init_gaussian(SE2(0, 0, 0), 5.0, 0.1)
+        pf.update(lambda s: np.exp(-0.5 * (s[:, 0] - 4.0)**2))
+        before = pf.estimate()
+        pf.resample()
+        after = pf.estimate()
+        assert np.allclose(pf.weights, 1.0 / 1000)
+        assert after.x == pytest.approx(before.x, abs=0.5)
+
+    def test_effective_sample_size_bounds(self, rng):
+        pf = ParticleFilter2D(100, rng)
+        pf.init_gaussian(SE2(0, 0, 0), 1.0, 0.1)
+        assert pf.effective_sample_size() == pytest.approx(100.0)
+        pf.weights[:] = 0.0
+        pf.weights[0] = 1.0
+        assert pf.effective_sample_size() == pytest.approx(1.0)
+
+    def test_circular_mean_heading(self, rng):
+        pf = ParticleFilter2D(1000, rng)
+        pf.init_gaussian(SE2(0, 0, np.pi), 0.01, 0.2)
+        est = pf.estimate()
+        assert abs(abs(est.theta) - np.pi) < 0.1
+
+    def test_spread_shrinks_after_update(self, rng):
+        pf = ParticleFilter2D(1000, rng)
+        pf.init_gaussian(SE2(0, 0, 0), 5.0, 0.1)
+        s0 = pf.spread()
+        pf.update(lambda s: np.exp(-2.0 * (s[:, 0]**2 + s[:, 1]**2)))
+        assert pf.spread() < s0
+
+
+class TestEKF:
+    def test_predict_straight(self):
+        ekf = PoseEKF(SE2(0, 0, 0), 0.1, 0.01)
+        for _ in range(10):
+            ekf.predict(1.0, 0.0)
+        assert ekf.pose.x == pytest.approx(10.0)
+        assert ekf.P[0, 0] > 0.01  # uncertainty grows
+
+    def test_position_update_converges(self, rng):
+        ekf = PoseEKF(SE2(5.0, 5.0, 0), sigma_xy=5.0)
+        for _ in range(20):
+            ekf.update_position(np.array([0.0, 0.0]), 0.5, gate=None)
+        assert abs(ekf.pose.x) < 0.2
+        assert ekf.position_sigma() < 0.5
+
+    def test_gate_rejects_outlier(self):
+        ekf = PoseEKF(SE2(0, 0, 0), sigma_xy=0.5)
+        accepted = ekf.update_position(np.array([50.0, 0.0]), 0.5)
+        assert not accepted
+        assert abs(ekf.pose.x) < 1e-9
+
+    def test_heading_update_wraps(self):
+        ekf = PoseEKF(SE2(0, 0, 3.1), sigma_theta=0.5)
+        ekf.update_heading(-3.1, 0.05, gate=None)
+        assert abs(ekf.pose.theta) > 3.0  # stayed near pi, not near zero
+
+    def test_landmark_update_pulls_position(self):
+        ekf = PoseEKF(SE2(1.0, 0.5, 0.0), sigma_xy=2.0)
+        landmark = np.array([10.0, 0.0])
+        # Truth: vehicle at origin; observed range 10, bearing 0.
+        for _ in range(10):
+            ekf.update_landmark(landmark, bearing=0.0, range_=10.0,
+                                sigma_bearing=0.02, sigma_range=0.1,
+                                gate=None)
+        assert abs(ekf.pose.y) < 0.4
+
+    def test_lateral_update(self):
+        ekf = PoseEKF(SE2(0.0, 1.0, 0.0), sigma_xy=1.0)
+        # The lane runs along x at y=0; vehicle measured on the centerline.
+        ekf.update_lateral(0.0, lane_heading=0.0,
+                           lane_point=np.array([0.0, 0.0]), sigma=0.05,
+                           gate=None)
+        assert abs(ekf.pose.y) < 0.3
+        # x untouched by a purely lateral measurement.
+        assert ekf.pose.x == pytest.approx(0.0, abs=1e-6)
+
+    def test_landmark_at_vehicle_raises(self):
+        ekf = PoseEKF(SE2(0, 0, 0))
+        with pytest.raises(LocalizationError):
+            ekf.update_landmark(np.array([0.0, 0.0]), 0.0, 0.0, 0.1, 0.1)

@@ -1,0 +1,160 @@
+"""Hypothesis property tests on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ids import ElementId
+from repro.geometry.polyline import Polyline
+from repro.geometry.transform import SE2
+from repro.geometry.vec import wrap_angle
+from repro.storage.binary import _read_svarint, _read_varint, _write_svarint, _write_varint
+from io import BytesIO
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+angles = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def se2_poses(draw):
+    return SE2(draw(finite), draw(finite), draw(angles))
+
+
+@st.composite
+def polylines(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    xs = draw(st.lists(st.floats(min_value=-1e4, max_value=1e4,
+                                 allow_nan=False), min_size=n, max_size=n))
+    ys = draw(st.lists(st.floats(min_value=-1e4, max_value=1e4,
+                                 allow_nan=False), min_size=n, max_size=n))
+    pts = np.column_stack([xs, ys])
+    seg = np.diff(pts, axis=0)
+    assume(np.all(np.hypot(seg[:, 0], seg[:, 1]) > 1e-6))
+    return Polyline(pts)
+
+
+class TestSE2Properties:
+    @given(se2_poses())
+    def test_inverse_is_identity(self, pose):
+        identity = pose @ pose.inverse()
+        assert abs(identity.x) < 1e-6 * max(1.0, abs(pose.x), abs(pose.y))
+        assert abs(wrap_angle(identity.theta)) < 1e-9
+
+    @given(se2_poses(), se2_poses())
+    def test_compose_matches_matrices(self, a, b):
+        left = (a @ b).as_matrix()
+        right = a.as_matrix() @ b.as_matrix()
+        assert np.allclose(left, right, atol=1e-6)
+
+    @given(se2_poses(), st.tuples(finite, finite))
+    def test_apply_preserves_distances(self, pose, point):
+        p = np.array(point)
+        q = p + np.array([1.0, 2.0])
+        pa, qa = pose.apply(p), pose.apply(q)
+        assert np.hypot(*(qa - pa)) == pytest.approx(np.hypot(*(q - p)),
+                                                     rel=1e-9)
+
+    @given(angles)
+    def test_wrap_angle_idempotent(self, a):
+        w = wrap_angle(a)
+        assert wrap_angle(w) == pytest.approx(w)
+        assert -math.pi < w <= math.pi
+
+
+class TestPolylineProperties:
+    @given(polylines())
+    @settings(deadline=None)
+    def test_length_at_least_endpoint_distance(self, line):
+        direct = float(np.hypot(*(line.end - line.start)))
+        assert line.length >= direct - 1e-6
+
+    @given(polylines(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(deadline=None)
+    def test_point_at_lies_near_line(self, line, frac):
+        s = frac * line.length
+        p = line.point_at(s)
+        assert line.distance_to(p) < 1e-6
+
+    @given(polylines())
+    @settings(deadline=None)
+    def test_reverse_preserves_length(self, line):
+        assert line.reversed().length == pytest.approx(line.length, rel=1e-9)
+
+    @given(polylines(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(deadline=None)
+    def test_projection_of_on_line_point_roundtrips(self, line, frac):
+        s = frac * line.length
+        assume(0.01 < s < line.length - 0.01)
+        p = line.point_at(s)
+        s2, d = line.project(p)
+        assert abs(d) < 1e-6
+        # Station can differ on self-intersecting polylines but the point
+        # must map back to the same location.
+        assert np.allclose(line.point_at(s2), p, atol=1e-5)
+
+    @given(polylines(), st.floats(min_value=1.0, max_value=50.0))
+    @settings(deadline=None)
+    def test_resample_preserves_endpoints_and_length(self, line, spacing):
+        r = line.resample(spacing)
+        assert np.allclose(r.start, line.start, atol=1e-9)
+        assert np.allclose(r.end, line.end, atol=1e-9)
+        assert r.length <= line.length + 1e-6
+
+    @given(polylines(), st.floats(min_value=0.01, max_value=5.0))
+    @settings(deadline=None)
+    def test_simplify_within_tolerance(self, line, tol):
+        simple = line.simplify(tol)
+        # Every original vertex stays within tol of the simplified line.
+        for p in line.points:
+            assert simple.distance_to(p) <= tol * 1.01 + 1e-9
+
+
+class TestVarintProperties:
+    @given(st.integers(min_value=0, max_value=2**62))
+    def test_varint_roundtrip(self, n):
+        buf = BytesIO()
+        _write_varint(buf, n)
+        buf.seek(0)
+        assert _read_varint(buf) == n
+
+    @given(st.integers(min_value=-2**61, max_value=2**61))
+    def test_svarint_roundtrip(self, n):
+        buf = BytesIO()
+        _write_svarint(buf, n)
+        buf.seek(0)
+        assert _read_svarint(buf) == n
+
+
+class TestIdProperties:
+    @given(st.sampled_from(["lane", "sign", "boundary", "x"]),
+           st.integers(min_value=0, max_value=2**31))
+    def test_id_parse_roundtrip(self, kind, num):
+        eid = ElementId(kind, num)
+        assert ElementId.parse(str(eid)) == eid
+
+
+class TestBinaryCodecProperty:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-5e4, max_value=5e4, allow_nan=False),
+        st.floats(min_value=-5e4, max_value=5e4, allow_nan=False)),
+        min_size=1, max_size=12))
+    @settings(deadline=None, max_examples=30)
+    def test_signs_roundtrip_through_binary(self, positions):
+        from repro.core import HDMap, TrafficSign
+        from repro.core.elements import SignType
+        from repro.storage import decode_map, encode_map
+
+        hdmap = HDMap("prop")
+        for x, y in positions:
+            hdmap.create(TrafficSign, position=np.array([x, y]),
+                         sign_type=SignType.STOP)
+        again = decode_map(encode_map(hdmap))
+        originals = sorted(hdmap.signs(), key=lambda s: s.id)
+        decoded = sorted(again.signs(), key=lambda s: s.id)
+        assert len(originals) == len(decoded)
+        for a, b in zip(originals, decoded):
+            assert np.allclose(a.position, b.position, atol=0.006)

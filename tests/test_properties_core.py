@@ -1,0 +1,147 @@
+"""Hypothesis property tests on the HD-map container and patch system."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HDMap,
+    Lane,
+    MapPatch,
+    SignType,
+    TrafficSign,
+    VersionedMap,
+)
+from repro.core.ids import ElementId
+from repro.errors import UnknownElementError
+from repro.geometry.polyline import straight
+
+positions = st.tuples(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+)
+
+
+def _map_with_signs(sign_positions):
+    hdmap = HDMap("prop")
+    hdmap.create(Lane, centerline=straight([0, 0], [100, 0]))
+    for x, y in sign_positions:
+        hdmap.create(TrafficSign, position=np.array([x, y]),
+                     sign_type=SignType.STOP)
+    return hdmap
+
+
+class TestHDMapProperties:
+    @given(st.lists(positions, min_size=1, max_size=15))
+    @settings(deadline=None, max_examples=40)
+    def test_landmarks_in_radius_is_exact(self, sign_positions):
+        hdmap = _map_with_signs(sign_positions)
+        centre = np.array([0.0, 0.0])
+        radius = 5000.0
+        found = {lm.id for lm in hdmap.landmarks_in_radius(0.0, 0.0, radius)}
+        expected = {
+            s.id for s in hdmap.signs()
+            if float(np.hypot(*(s.position - centre))) <= radius
+        }
+        assert found == expected
+
+    @given(st.lists(positions, min_size=1, max_size=10))
+    @settings(deadline=None, max_examples=40)
+    def test_remove_then_absent_everywhere(self, sign_positions):
+        hdmap = _map_with_signs(sign_positions)
+        victim = next(iter(hdmap.signs()))
+        hdmap.remove(victim.id)
+        assert victim.id not in hdmap
+        assert victim.id not in {s.id for s in hdmap.signs()}
+        assert victim.id not in {
+            lm.id for lm in hdmap.landmarks_in_radius(
+                float(victim.position[0]), float(victim.position[1]), 10.0)
+        }
+        with pytest.raises(UnknownElementError):
+            hdmap.get(victim.id)
+
+    @given(st.lists(positions, min_size=1, max_size=10))
+    @settings(deadline=None, max_examples=30)
+    def test_copy_equivalence(self, sign_positions):
+        hdmap = _map_with_signs(sign_positions)
+        clone = hdmap.copy()
+        assert clone.counts_by_kind() == hdmap.counts_by_kind()
+        assert {e.id for e in clone.elements()} == {
+            e.id for e in hdmap.elements()}
+
+
+class TestPatchProperties:
+    @given(st.lists(positions, min_size=1, max_size=8),
+           st.lists(positions, min_size=1, max_size=8))
+    @settings(deadline=None, max_examples=30)
+    def test_patch_apply_then_inverse_restores(self, initial, added):
+        vm = VersionedMap(_map_with_signs(initial))
+        before_ids = {e.id for e in vm.map.elements()}
+
+        patch = MapPatch(source="prop")
+        new_ids = []
+        for x, y in added:
+            sign = TrafficSign(id=vm.map.new_id("sign"),
+                               position=np.array([x, y]),
+                               sign_type=SignType.DIRECTION)
+            patch.add(sign)
+            new_ids.append(sign.id)
+        vm.apply(patch)
+        assert {e.id for e in vm.map.elements()} == before_ids | set(new_ids)
+
+        inverse = MapPatch(source="prop-undo")
+        for eid in new_ids:
+            inverse.remove(eid)
+        vm.apply(inverse)
+        assert {e.id for e in vm.map.elements()} == before_ids
+
+    @given(st.lists(positions, min_size=2, max_size=8))
+    @settings(deadline=None, max_examples=30)
+    def test_failed_patch_never_partially_applies(self, sign_positions):
+        vm = VersionedMap(_map_with_signs(sign_positions))
+        before_ids = {e.id for e in vm.map.elements()}
+        version_before = vm.version
+        bad = MapPatch(source="bad")
+        victims = [s.id for s in vm.map.signs()]
+        for eid in victims:
+            bad.remove(eid)
+        bad.remove(ElementId("sign", 10 ** 9))  # guaranteed failure at end
+        with pytest.raises(UnknownElementError):
+            vm.apply(bad)
+        assert {e.id for e in vm.map.elements()} == before_ids
+        assert vm.version == version_before
+
+    @given(st.lists(positions, min_size=1, max_size=6))
+    @settings(deadline=None, max_examples=30)
+    def test_changes_since_is_complete(self, added):
+        vm = VersionedMap(_map_with_signs([(0.0, 0.0)]))
+        for x, y in added:
+            patch = MapPatch(source="p")
+            patch.add(TrafficSign(id=vm.map.new_id("sign"),
+                                  position=np.array([x, y]),
+                                  sign_type=SignType.STOP))
+            vm.apply(patch)
+        assert len(vm.changes_since(0)) == len(added)
+        assert len(vm.changes_since(vm.version)) == 0
+
+
+class TestDistributionProperty:
+    @given(st.lists(positions, min_size=1, max_size=6))
+    @settings(deadline=None, max_examples=20)
+    def test_client_converges_after_any_patch_sequence(self, patches):
+        from repro.update.distribution import (
+            MapDistributionServer,
+            VehicleMapClient,
+        )
+
+        server = MapDistributionServer(_map_with_signs([(0.0, 0.0)]))
+        client = VehicleMapClient(server)
+        for x, y in patches:
+            patch = MapPatch(source="p", confidence=0.9)
+            patch.add(TrafficSign(id=server.db.map.new_id("sign"),
+                                  position=np.array([x, y]),
+                                  sign_type=SignType.STOP))
+            server.ingest(patch)
+        client.sync()
+        assert client.is_consistent()

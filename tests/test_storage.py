@@ -1,0 +1,155 @@
+"""Serialization round trips and storage accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import HDMap, Lane, RuleType, TrafficSign
+from repro.core.elements import SignType
+from repro.errors import StorageError
+from repro.geometry.polyline import straight
+from repro.storage import (
+    build_pointcloud_map,
+    decode_map,
+    encode_map,
+    load_map,
+    map_from_dict,
+    map_to_dict,
+    save_map,
+    storage_report,
+)
+from repro.storage.binary import _read_varint, _write_varint
+from repro.storage.pointcloud import PointCloudMap, bytes_per_mile
+from io import BytesIO
+
+
+class TestGeoJson:
+    def test_roundtrip_all_kinds(self, highway):
+        data = map_to_dict(highway)
+        again = map_from_dict(data)
+        assert len(again) == len(highway)
+        assert again.counts_by_kind() == highway.counts_by_kind()
+
+    def test_roundtrip_regulatory(self):
+        hdmap = HDMap("r")
+        lane = hdmap.create(Lane, centerline=straight([0, 0], [50, 0]))
+        hdmap.create_regulatory(rule_type=RuleType.SPEED_LIMIT,
+                                lanes=[lane.id], value=8.33)
+        again = map_from_dict(map_to_dict(hdmap))
+        rule = next(iter(again.regulatory_elements()))
+        assert rule.value == pytest.approx(8.33)
+        assert rule.lanes == [lane.id]
+
+    def test_lane_references_preserved(self, highway):
+        again = map_from_dict(map_to_dict(highway))
+        for lane in again.lanes():
+            if lane.left_boundary is not None:
+                assert lane.left_boundary in again
+
+    def test_coordinates_within_tolerance(self, highway):
+        again = map_from_dict(map_to_dict(highway))
+        lane = next(iter(highway.lanes()))
+        lane2 = again.get(lane.id)
+        err = np.abs(lane.centerline.points - lane2.centerline.points).max()
+        assert err < 1e-3  # 4-decimal rounding
+
+    def test_rejects_wrong_document(self):
+        with pytest.raises(StorageError):
+            map_from_dict({"type": "nope"})
+
+    def test_rejects_wrong_version(self, highway):
+        data = map_to_dict(highway)
+        data["format_version"] = 999
+        with pytest.raises(StorageError):
+            map_from_dict(data)
+
+    def test_save_load_file(self, highway, tmp_path):
+        path = tmp_path / "map.json"
+        n = save_map(highway, path)
+        assert n == path.stat().st_size
+        again = load_map(path)
+        assert len(again) == len(highway)
+
+
+class TestBinary:
+    def test_varint_roundtrip(self):
+        for value in [0, 1, 127, 128, 300, 2**20, 2**40]:
+            buf = BytesIO()
+            _write_varint(buf, value)
+            buf.seek(0)
+            assert _read_varint(buf) == value
+
+    def test_roundtrip_counts(self, highway):
+        blob = encode_map(highway)
+        again = decode_map(blob)
+        assert again.counts_by_kind() == highway.counts_by_kind()
+
+    def test_roundtrip_city(self, city):
+        again = decode_map(encode_map(city))
+        assert again.counts_by_kind() == city.counts_by_kind()
+
+    def test_centimetre_precision(self, highway):
+        again = decode_map(encode_map(highway))
+        lane = next(iter(highway.lanes()))
+        err = np.abs(lane.centerline.points
+                     - again.get(lane.id).centerline.points).max()
+        assert err <= 0.0051
+
+    def test_sign_attributes_roundtrip(self):
+        hdmap = HDMap("s")
+        hdmap.create(TrafficSign, position=np.array([3.0, 4.0]),
+                     sign_type=SignType.SPEED_LIMIT, value=22.22,
+                     facing=1.25)
+        again = decode_map(encode_map(hdmap))
+        sign = next(iter(again.signs()))
+        assert sign.value == pytest.approx(22.22, rel=1e-5)
+        assert sign.sign_type is SignType.SPEED_LIMIT
+
+    def test_binary_much_smaller_than_json(self, highway):
+        import json
+
+        json_bytes = len(json.dumps(map_to_dict(highway)).encode())
+        bin_bytes = len(encode_map(highway))
+        assert bin_bytes < json_bytes / 4
+
+    def test_simplification_shrinks(self, highway):
+        exact = len(encode_map(highway))
+        lossy = len(encode_map(highway, simplify_tolerance=0.1))
+        assert lossy < exact
+
+    def test_bad_magic(self):
+        with pytest.raises(StorageError):
+            decode_map(b"XXXX" + b"\x00" * 16)
+
+
+class TestPointCloud:
+    def test_cloud_density_scales_with_area(self, highway, rng):
+        sparse = build_pointcloud_map(highway, rng, points_per_m2=5.0)
+        dense = build_pointcloud_map(highway, rng, points_per_m2=20.0)
+        assert dense.n_points > 3 * sparse.n_points
+
+    def test_bytes_roundtrip(self, rng):
+        cloud = PointCloudMap(
+            points=rng.normal(size=(100, 3)).astype(np.float32),
+            intensity=rng.integers(0, 255, 100).astype(np.uint8))
+        again = PointCloudMap.from_bytes(cloud.to_bytes())
+        assert again.n_points == 100
+        assert np.allclose(again.points, cloud.points)
+
+    def test_bytes_per_mile_requires_segments(self):
+        with pytest.raises(ValueError):
+            bytes_per_mile(1000, HDMap("empty"))
+
+
+class TestStorageReport:
+    def test_ordering_matches_survey(self, highway, rng):
+        report = storage_report(highway, rng)
+        # Point cloud >> GeoJSON > binary > simplified binary.
+        assert report.pointcloud_bytes > 50 * report.geojson_bytes
+        assert report.geojson_bytes > report.binary_bytes
+        assert report.binary_bytes >= report.binary_simplified_bytes
+        assert report.reduction_factor > 100.0
+
+    def test_pointcloud_per_mile_in_survey_band(self, highway, rng):
+        report = storage_report(highway, rng)
+        # Pannen et al.: ~10 MB/mile. Ours should be the same order.
+        assert 1e6 < report.pointcloud_per_mile < 1e8

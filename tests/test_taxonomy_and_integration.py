@@ -1,0 +1,112 @@
+"""Taxonomy coverage plus cross-module integration flows."""
+
+import numpy as np
+import pytest
+
+from repro import taxonomy
+from repro.core import ChangeType, VersionedMap, validate_map
+from repro.core.validation import Severity
+from repro.world import ChangeSpec, apply_changes, drive_route
+
+
+class TestTaxonomy:
+    def test_eight_subareas_two_categories(self):
+        assert len(taxonomy.TABLE_I) == 8
+        cats = taxonomy.by_category()
+        assert set(cats) == {taxonomy.DESIGN_AND_CONSTRUCTION,
+                             taxonomy.APPLICATIONS}
+        assert len(cats[taxonomy.DESIGN_AND_CONSTRUCTION]) == 3
+        assert len(cats[taxonomy.APPLICATIONS]) == 5
+
+    def test_full_coverage(self):
+        coverage = taxonomy.coverage()
+        missing = [name for name, ok in coverage.items() if not ok]
+        assert missing == []
+
+    def test_render_contains_all_subareas(self):
+        text = taxonomy.render_table()
+        for area in taxonomy.TABLE_I:
+            assert area.name in text
+
+    def test_unimplemented_module_detected(self):
+        fake = taxonomy.SubArea("x", "fake", ("1",), ("repro.nonexistent",))
+        assert not fake.implemented()
+
+
+class TestEndToEndMaintenance:
+    """The survey's central loop: create -> change -> detect -> patch."""
+
+    def test_slamcu_patch_closes_the_loop(self):
+        rng = np.random.default_rng(900)
+        from repro.update import Slamcu
+        from repro.world import generate_highway
+
+        hw = generate_highway(rng, length=3000.0, sign_spacing=200.0)
+        scenario = apply_changes(hw, ChangeSpec(add_signs=3, remove_signs=2),
+                                 rng)
+        lanes = list(scenario.reality.lanes())
+        trajectories = [drive_route(scenario.reality, lanes[i].id, 2900.0, rng)
+                        for i in (0, 2)]
+        prior = scenario.prior.copy()
+        report = Slamcu(prior).run(scenario, trajectories, rng)
+
+        vm = VersionedMap(prior)
+        vm.apply(report.patch)
+        # After patching, re-diffing prior against reality should show
+        # fewer remaining sign changes than before.
+        from repro.core import diff_maps
+
+        remaining = [c for c in diff_maps(vm.map, scenario.reality)
+                     if c.element_id.kind == "sign"
+                     and c.change_type in (ChangeType.ADDED,
+                                           ChangeType.REMOVED)]
+        assert len(remaining) < scenario.n_changes
+
+    def test_created_map_supports_routing_and_localization(self):
+        """Probe-created lanes are good enough to route and localize on."""
+        rng = np.random.default_rng(901)
+        from repro.core import HDMap, Lane
+        from repro.creation import ProbeMapper
+        from repro.planning import LaneRouter
+        from repro.sensors import ProbeGenerator
+        from repro.world import generate_highway
+
+        hw = generate_highway(rng, length=1500.0)
+        lane = next(iter(hw.lanes()))
+        trajectories = [drive_route(hw, lane.id, 1400.0, rng)
+                        for _ in range(10)]
+        traces = ProbeGenerator().generate_fleet(hw, trajectories, rng)
+        result = ProbeMapper(hw).build(traces)
+        assert result.lanes_found >= 1
+
+        derived = HDMap("derived")
+        for line in result.centerlines:
+            derived.add(Lane(id=derived.new_id("lane"), centerline=line))
+        # The derived map is spatially queryable.
+        probe_lane, dist = derived.nearest_lane(*trajectories[0].positions()[50])
+        assert dist < 5.0
+
+    def test_storage_roundtrip_preserves_routability(self, city):
+        from repro.planning import LaneRouter
+        from repro.storage import decode_map, encode_map
+
+        again = decode_map(encode_map(city))
+        router = LaneRouter(again)
+        lanes = [l for l in again.lanes() if l.length > 50]
+        result = router.route_astar(lanes[0].id, lanes[-1].id)
+        assert result.n_lanes > 1
+
+    def test_generated_worlds_always_validate(self):
+        from repro.world import generate_grid_city, generate_highway
+        from repro.world.hdmapgen import HDMapGenSampler, MapTopologySpec
+
+        for seed in (0, 1, 2):
+            rng = np.random.default_rng(seed)
+            for hdmap in (
+                generate_highway(rng, length=1000.0),
+                generate_grid_city(rng, 2, 2),
+                HDMapGenSampler(MapTopologySpec(n_junctions=5)).sample_map(rng),
+            ):
+                errors = [i for i in validate_map(hdmap)
+                          if i.severity is Severity.ERROR]
+                assert errors == [], f"seed {seed}: {errors[:3]}"
