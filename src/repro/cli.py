@@ -3,9 +3,10 @@
 Usage::
 
     python -m repro generate --kind city --seed 7 --out city.json
-    python -m repro stats city.json
+    python -m repro stats city.json [--tiles] [--tile-size 500]
     python -m repro validate city.json
     python -m repro route city.json --from 100,100 --to 600,400
+    python -m repro serve-bench city.json --workers 1,4 --vehicles 8
     python -m repro taxonomy
 """
 
@@ -46,7 +47,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.storage import load_map
+    from repro.storage import TileStore, load_map
     from repro.world.hdmapgen import map_statistics
 
     hdmap = load_map(args.map)
@@ -57,6 +58,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"  mean lane length: {stats.mean_lane_length:.1f} m")
     print(f"  mean |curvature|: {stats.mean_abs_curvature:.4f} 1/m")
     print(f"  mean junction degree: {stats.mean_junction_degree:.2f}")
+    if args.tiles:
+        store = TileStore.build(hdmap, tile_size=args.tile_size)
+        n_tiles = len(store.tiles())
+        total = store.total_bytes()
+        print(f"  tile store ({args.tile_size:.0f} m tiles):")
+        print(f"    tiles: {n_tiles}")
+        print(f"    blob bytes: {total} "
+              f"({total / 1024:.1f} KB, "
+              f"{total / max(n_tiles, 1):.0f} B/tile mean)")
+        largest = store.largest_tile()
+        if largest is not None:
+            tile, size = largest
+            print(f"    largest tile: {tile} ({size} B)")
     return 0
 
 
@@ -96,6 +110,55 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_worker_list(text: str) -> List[int]:
+    try:
+        workers = [int(w) for w in text.split(",") if w]
+        if not workers or any(w < 1 for w in workers):
+            raise ValueError
+        return workers
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated worker counts, got {text!r}") from None
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import FleetSimulator, MapService
+    from repro.storage import TileStore, load_map
+    from repro.update.distribution import MapDistributionServer
+
+    hdmap = load_map(args.map)
+    store = TileStore.build(hdmap, tile_size=args.tile_size)
+    print(f"serving {hdmap.name}: {len(store.tiles())} tiles, "
+          f"{store.total_bytes() / 1024:.1f} KB, "
+          f"{args.vehicles} vehicles x {args.route / 1000:.1f} km")
+    header = (f"{'workers':>7}  {'throughput':>12}  {'hit rate':>8}  "
+              f"{'p95 query':>9}  {'shed':>5}  {'rejected':>8}  "
+              f"{'consistent':>10}")
+    print(header)
+    print("-" * len(header))
+    for workers in args.workers:
+        server = MapDistributionServer(hdmap.copy())
+        service = MapService(server, store, n_workers=workers,
+                             service_latency_s=args.service_latency_ms / 1e3,
+                             storage_latency_s=args.storage_latency_ms / 1e3)
+        with service:
+            fleet = FleetSimulator(service, hdmap,
+                                   n_vehicles=args.vehicles,
+                                   route_length_m=args.route,
+                                   sync_every=5, ingest_every=7,
+                                   seed=args.seed)
+            report = fleet.run()
+        query = report.latency.get("SpatialQuery", {})
+        consistent = report.consistency_violations == 0 \
+            and report.version_regressions == 0
+        print(f"{workers:>7}  {report.throughput_rps:>8.0f} rps  "
+              f"{100 * report.cache_hit_rate:>7.1f}%  "
+              f"{1e3 * query.get('p95_s', 0.0):>6.1f} ms  "
+              f"{report.shed_total:>5}  {report.rejected_total:>8}  "
+              f"{'yes' if consistent else 'NO':>10}")
+    return 0
+
+
 def _cmd_taxonomy(args: argparse.Namespace) -> int:
     from repro import taxonomy
 
@@ -122,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="summarize a map file")
     stats.add_argument("map")
+    stats.add_argument("--tiles", action="store_true",
+                       help="also report tile-store serving capacity")
+    stats.add_argument("--tile-size", type=float, default=500.0,
+                       help="tile edge length in metres (with --tiles)")
     stats.set_defaults(func=_cmd_stats)
 
     val = sub.add_parser("validate", help="run integrity checks")
@@ -135,6 +202,24 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--to", dest="goal", type=_parse_point,
                        required=True, metavar="X,Y")
     route.set_defaults(func=_cmd_route)
+
+    bench = sub.add_parser(
+        "serve-bench",
+        help="load-test the serving layer with a synthetic fleet")
+    bench.add_argument("map")
+    bench.add_argument("--workers", type=_parse_worker_list, default=[1, 4],
+                       metavar="N,M,...",
+                       help="worker-pool sizes to sweep (default 1,4)")
+    bench.add_argument("--vehicles", type=int, default=8)
+    bench.add_argument("--route", type=float, default=2000.0,
+                       help="route length per vehicle, metres")
+    bench.add_argument("--tile-size", type=float, default=250.0)
+    bench.add_argument("--service-latency-ms", type=float, default=2.0,
+                       help="simulated per-request network/serialization cost")
+    bench.add_argument("--storage-latency-ms", type=float, default=2.0,
+                       help="simulated blob-fetch cost on tile cache misses")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=_cmd_serve_bench)
 
     tax = sub.add_parser("taxonomy", help="print Table I with coverage")
     tax.set_defaults(func=_cmd_taxonomy)

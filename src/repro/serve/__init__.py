@@ -1,0 +1,58 @@
+"""Fleet-scale map serving: the concurrent front door of the HD-map database.
+
+The survey's closing open problem is distributing "enormous map data" to
+whole vehicle fleets [73]; ``repro.update.distribution`` and
+``repro.storage.tilestore`` model the single-vehicle side. This package
+adds the serving layer between them and the fleet:
+
+- :mod:`repro.serve.api` — typed request/response messages
+  (``GetTile``, ``SpatialQuery``, ``ChangesSince``, ``IngestPatch``,
+  ``Snapshot``) with priorities and status codes;
+- :mod:`repro.serve.cache` — a sharded, read-write-locked tile cache;
+- :mod:`repro.serve.admission` — bounded queueing with backpressure and
+  load shedding of stale low-priority requests;
+- :mod:`repro.serve.metrics` — thread-safe latency histograms and counters;
+- :mod:`repro.serve.service` — the worker-pool ``MapService`` tying the
+  above together;
+- :mod:`repro.serve.fleet` — a synthetic-vehicle load generator and report.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.api import (
+    ChangesSince,
+    GetTile,
+    IngestPatch,
+    Priority,
+    Request,
+    Response,
+    Snapshot,
+    SpatialQuery,
+    Status,
+)
+from repro.serve.cache import RWLock, ShardedTileCache
+from repro.serve.fleet import FleetReport, FleetSimulator, VehicleReport
+from repro.serve.metrics import Counter, LatencyHistogram, ServiceMetrics
+from repro.serve.service import MapService
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ChangesSince",
+    "Counter",
+    "FleetReport",
+    "FleetSimulator",
+    "GetTile",
+    "IngestPatch",
+    "LatencyHistogram",
+    "MapService",
+    "Priority",
+    "Request",
+    "Response",
+    "RWLock",
+    "ServiceMetrics",
+    "ShardedTileCache",
+    "Snapshot",
+    "SpatialQuery",
+    "Status",
+    "VehicleReport",
+]

@@ -1,0 +1,120 @@
+"""Admission control: bounded queueing, backpressure, and load shedding.
+
+The serving layer refuses to build an unbounded backlog. Admission is a
+bounded FIFO: when it is full, ``offer`` fails immediately and the caller
+gets a REJECTED response (backpressure — the client should slow down, not
+the server fall behind). Once admitted, a request can still be *shed* at
+dispatch time: if it has waited longer than ``max_age_s`` and its priority
+is below ``shed_below``, answering it would waste a worker on data the
+vehicle has already driven past, so the worker drops it and reports SHED.
+
+The clock is injectable so shedding is deterministically testable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional
+
+from repro.serve.api import Priority
+from repro.serve.metrics import Counter
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Limits enforced by the admission controller."""
+
+    max_queue: int = 256       # bounded backlog; offers beyond this fail
+    max_age_s: float = 0.5     # queueing age beyond which low-priority work
+    shed_below: Priority = Priority.NORMAL  # ... below this class is shed
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.max_age_s < 0:
+            raise ValueError("max_age_s must be >= 0")
+
+
+class _Queued:
+    __slots__ = ("entry", "priority", "enqueued_at")
+
+    def __init__(self, entry: Any, priority: Priority,
+                 enqueued_at: float) -> None:
+        self.entry = entry
+        self.priority = priority
+        self.enqueued_at = enqueued_at
+
+
+class AdmissionController:
+    """A closeable bounded FIFO with dispatch-time load shedding."""
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None,
+                 on_shed: Optional[Callable[[Any], None]] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self._on_shed = on_shed
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._queue: Deque[_Queued] = deque()
+        self._closed = False
+        self.admitted = Counter()
+        self.rejected = Counter()
+        self.shed = Counter()
+
+    # ------------------------------------------------------------------
+    def offer(self, entry: Any,
+              priority: Priority = Priority.NORMAL) -> bool:
+        """Admit ``entry`` unless the queue is full or closed."""
+        with self._cond:
+            if self._closed or len(self._queue) >= self.policy.max_queue:
+                self.rejected.add()
+                return False
+            self._queue.append(_Queued(entry, priority, self._clock()))
+            self.admitted.add()
+            self._cond.notify()
+            return True
+
+    def _sheddable(self, item: _Queued) -> bool:
+        return (item.priority < self.policy.shed_below
+                and self._clock() - item.enqueued_at > self.policy.max_age_s)
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Next live entry, shedding stale low-priority ones on the way.
+
+        Returns None once the controller is closed and drained, or when
+        ``timeout`` elapses with nothing admitted.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    if deadline is None:
+                        self._cond.wait()
+                    else:
+                        remaining = deadline - self._clock()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            if not self._queue:
+                                return None
+                if not self._queue:
+                    return None  # closed and drained
+                item = self._queue.popleft()
+            if self._sheddable(item):
+                self.shed.add()
+                if self._on_shed is not None:
+                    self._on_shed(item.entry)
+                continue
+            return item.entry
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """Stop admitting; wake all waiting takers to drain and exit."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,166 @@
+"""Serving metrics: thread-safe counters and latency histograms.
+
+Modeled on :class:`~repro.storage.tilestore.TileStoreStats` but built for
+concurrent writers: every mutation happens under a lock, and ``as_dict()``
+exports a consistent point-in-time view for dashboards/CLI output. The
+service keeps one :class:`LatencyHistogram` and a counter per request kind
+plus global admission counters, which together give the per-request-type
+latency distribution, QPS, and error/shed rates of a run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def add(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+#: Log-spaced bucket upper bounds (seconds): 0.1 ms .. 10 s, then +inf.
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with quantile estimates.
+
+    Quantiles are resolved to the upper bound of the containing bucket
+    (a conservative estimate), which is what fleet SLO reporting wants.
+    """
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds or DEFAULT_BOUNDS)
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self._lock = threading.Lock()
+        self._counts: List[int] = [0] * (len(self.bounds) + 1)
+        self._total_s = 0.0
+        self._count = 0
+
+    def record(self, seconds: float) -> None:
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._total_s += seconds
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean_s(self) -> float:
+        with self._lock:
+            return self._total_s / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket containing the q-th percentile."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q / 100.0 * total
+        running = 0
+        for i, c in enumerate(counts):
+            running += c
+            if running >= rank:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean_s,
+            "p50_s": self.percentile(50.0),
+            "p95_s": self.percentile(95.0),
+            "p99_s": self.percentile(99.0),
+        }
+
+
+class ServiceMetrics:
+    """Per-request-type latency/outcome metrics plus admission counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latency: Dict[str, LatencyHistogram] = {}
+        self._outcomes: Dict[Tuple[str, str], Counter] = {}
+        self.rejected = Counter()   # backpressure at submit
+        self.shed = Counter()       # stale low-priority dropped by workers
+        self.errors = Counter()
+
+    def _histogram(self, kind: str) -> LatencyHistogram:
+        with self._lock:
+            hist = self._latency.get(kind)
+            if hist is None:
+                hist = self._latency[kind] = LatencyHistogram()
+            return hist
+
+    def _outcome(self, kind: str, status: str) -> Counter:
+        with self._lock:
+            counter = self._outcomes.get((kind, status))
+            if counter is None:
+                counter = self._outcomes[(kind, status)] = Counter()
+            return counter
+
+    def record(self, kind: str, status: str, latency_s: float) -> None:
+        self._outcome(kind, status).add()
+        if status == "ok":
+            self._histogram(kind).record(latency_s)
+        elif status == "error":
+            self.errors.add()
+        elif status == "shed":
+            self.shed.add()
+        elif status == "rejected":
+            self.rejected.add()
+
+    def completed(self) -> int:
+        """Requests answered OK across all kinds."""
+        with self._lock:
+            counters = [c for (_, status), c in self._outcomes.items()
+                        if status == "ok"]
+        return sum(c.value for c in counters)
+
+    def throughput(self, elapsed_s: float) -> float:
+        """OK responses per second over ``elapsed_s``."""
+        return self.completed() / elapsed_s if elapsed_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            kinds = sorted(self._latency)
+            outcomes = {f"{kind}.{status}": counter.value
+                        for (kind, status), counter in
+                        sorted(self._outcomes.items())}
+        return {
+            "latency": {kind: self._histogram(kind).as_dict()
+                        for kind in kinds},
+            "outcomes": outcomes,
+            "rejected": self.rejected.value,
+            "shed": self.shed.value,
+            "errors": self.errors.value,
+        }

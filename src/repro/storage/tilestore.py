@@ -10,6 +10,7 @@ vehicle produces.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -25,14 +26,48 @@ from repro.storage.binary import decode_map, encode_map
 
 @dataclass
 class TileStoreStats:
+    """Hit/load/eviction counters, safe to update from multiple threads.
+
+    The plain integer fields stay readable directly; writers should go
+    through the ``record_*`` methods, which serialize the read-modify-write
+    under a lock (the serve layer updates one stats object from a worker
+    pool).
+    """
+
     loads: int = 0
     evictions: int = 0
     hits: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_load(self) -> None:
+        with self._lock:
+            self.loads += 1
+
+    def record_eviction(self) -> None:
+        with self._lock:
+            self.evictions += 1
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.loads
         return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Point-in-time counter values for metrics export."""
+        with self._lock:
+            loads, evictions, hits = self.loads, self.evictions, self.hits
+        total = hits + loads
+        return {
+            "loads": loads,
+            "evictions": evictions,
+            "hits": hits,
+            "hit_rate": hits / total if total else 0.0,
+        }
 
 
 class TileStore:
@@ -72,6 +107,16 @@ class TileStore:
     def total_bytes(self) -> int:
         return sum(len(b) for b in self._blobs.values())
 
+    def blob_bytes(self, tile: TileId) -> int:
+        return len(self._blobs.get(tile, b""))
+
+    def largest_tile(self) -> Optional[Tuple[TileId, int]]:
+        """The heaviest shard — the serving hot spot to watch for."""
+        if not self._blobs:
+            return None
+        tile = max(self._blobs, key=lambda t: len(self._blobs[t]))
+        return tile, len(self._blobs[tile])
+
     def load_tile(self, tile: TileId) -> Optional[HDMap]:
         blob = self._blobs.get(tile)
         if blob is None:
@@ -98,14 +143,14 @@ class StreamingMap:
     def _tile(self, tile: TileId) -> Optional[HDMap]:
         if tile in self._resident:
             self._resident.move_to_end(tile)
-            self.stats.hits += 1
+            self.stats.record_hit()
             return self._resident[tile]
         shard = self.store.load_tile(tile)
-        self.stats.loads += 1
+        self.stats.record_load()
         self._resident[tile] = shard
         while len(self._resident) > self.max_tiles:
             self._resident.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.record_eviction()
         return shard
 
     def resident_tiles(self) -> List[TileId]:

@@ -6,13 +6,27 @@ fleet-wide map [44]. This module is that database: it ingests patches
 from multiple independent pipelines with conflict resolution, versions
 them atomically, and lets vehicles synchronize incrementally ("give me
 everything since version N") instead of re-downloading the map.
+
+Consistency guarantee (what the serving layer builds on):
+:class:`MapDistributionServer` serializes every mutation and every read
+of the version log behind one reentrant lock, so concurrent callers
+observe *single-copy* semantics — each ``ingest`` is atomic (a patch is
+fully applied at version N or not at all), the version sequence is
+gap-free and monotonic, and :meth:`MapDistributionServer.delta_since`
+returns a version, its change log suffix, and copies of the touched
+elements captured at the *same* instant. A client applying deltas in
+order therefore never sees a torn patch or versions out of order, and
+after applying a delta for version N it is element-for-element identical
+to the server at N.
 """
 
 from __future__ import annotations
 
+import copy
 import enum
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -50,8 +64,25 @@ class _Provenance:
     version: int
 
 
+@dataclass
+class SyncDelta:
+    """An atomic incremental-sync payload.
+
+    ``version`` is the server version the delta was captured at;
+    ``changes`` is the change-log suffix after the client's version; and
+    ``elements`` maps every touched element id to a copy of its state at
+    ``version`` (None when the element no longer exists). All three are
+    read under the server lock, so the delta can never be torn by a
+    concurrent ingest.
+    """
+
+    version: int
+    changes: List[MapChange]
+    elements: Dict[ElementId, Optional[object]]
+
+
 class MapDistributionServer:
-    """The authoritative, versioned HD-map database."""
+    """The authoritative, versioned HD-map database (thread-safe)."""
 
     def __init__(self, base: HDMap,
                  policy: ConflictPolicy = ConflictPolicy.HIGHEST_CONFIDENCE,
@@ -60,10 +91,12 @@ class MapDistributionServer:
         self.policy = policy
         self.conflict_window = conflict_window
         self._touched: Dict[ElementId, _Provenance] = {}
+        self._lock = threading.RLock()
 
     @property
     def version(self) -> int:
-        return self.db.version
+        with self._lock:
+            return self.db.version
 
     # ------------------------------------------------------------------
     def _op_target(self, op) -> ElementId:
@@ -88,9 +121,13 @@ class MapDistributionServer:
 
     # ------------------------------------------------------------------
     def ingest(self, patch: MapPatch) -> IngestResult:
-        """Apply a pipeline's patch under the conflict policy."""
+        """Apply a pipeline's patch atomically under the conflict policy."""
         if not patch.ops:
             return IngestResult(False, None, 0, "empty patch")
+        with self._lock:
+            return self._ingest_locked(patch)
+
+    def _ingest_locked(self, patch: MapPatch) -> IngestResult:
         conflicts = self._conflicts(patch)
         ops = list(patch.ops)
         dropped = 0
@@ -118,10 +155,34 @@ class MapDistributionServer:
 
     # ------------------------------------------------------------------
     def changes_since(self, version: int) -> List[MapChange]:
-        return self.db.changes_since(version)
+        with self._lock:
+            return self.db.changes_since(version)
 
     def snapshot(self) -> HDMap:
-        return self.db.map.copy()
+        with self._lock:
+            return self.db.map.copy()
+
+    def delta_since(self, version: int) -> SyncDelta:
+        """Atomically capture (version, change suffix, touched elements)."""
+        with self._lock:
+            changes = self.db.changes_since(version)
+            touched: Set[ElementId] = {c.element_id for c in changes}
+            elements = {
+                eid: copy.copy(self.db.map.get(eid))
+                if eid in self.db.map else None
+                for eid in touched
+            }
+            return SyncDelta(self.db.version, changes, elements)
+
+    def element_ids(self) -> Set[ElementId]:
+        """Ids currently in the authoritative map (consistent read)."""
+        with self._lock:
+            return {e.id for e in self.db.map.elements()}
+
+    def new_element_id(self, kind: str) -> ElementId:
+        """Allocate a fresh id on the authoritative map, thread-safely."""
+        with self._lock:
+            return self.db.map.new_id(kind)
 
 
 @dataclass
@@ -153,21 +214,28 @@ class VehicleMapClient:
 
         Change records describe what happened; the client re-fetches the
         touched elements from the server snapshot (element-level delta).
+        The delta is captured atomically, so this is safe to call while
+        other threads are ingesting patches.
         """
         if self.synced_version == self.server.version:
             return 0
-        changes = self.server.changes_since(self.synced_version)
-        snapshot = self.server.db.map
+        return self.apply_delta(self.server.delta_since(self.synced_version))
+
+    def apply_delta(self, delta: SyncDelta) -> int:
+        """Apply an atomic :class:`SyncDelta`; returns changes applied.
+
+        Stale deltas (captured at or before the client's version) are
+        ignored, so out-of-order delivery can never roll the client back.
+        """
+        if delta.version <= self.synced_version:
+            return 0
         applied = 0
-        for change in changes:
+        for change in delta.changes:
             eid = change.element_id
             self.bytes_downloaded += self.CHANGE_RECORD_BYTES
-            in_server = eid in snapshot
+            element = delta.elements.get(eid)
             in_local = eid in self.local
-            if in_server:
-                import copy
-
-                element = copy.copy(snapshot.get(eid))
+            if element is not None:
                 if in_local:
                     self.local.replace(element)
                 else:
@@ -175,11 +243,10 @@ class VehicleMapClient:
             elif in_local:
                 self.local.remove(eid)
             applied += 1
-        self.synced_version = self.server.version
+        self.synced_version = delta.version
         return applied
 
     def is_consistent(self) -> bool:
         """Local matches the server snapshot element-for-element."""
-        server_ids = {e.id for e in self.server.db.map.elements()}
         local_ids = {e.id for e in self.local.elements()}
-        return server_ids == local_ids
+        return self.server.element_ids() == local_ids

@@ -1,0 +1,398 @@
+"""Serving layer: admission control, sharded cache, MapService, fleet runs."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import MapPatch, SignType, TrafficSign
+from repro.core.tiles import TileId
+from repro.errors import StorageError
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    ChangesSince,
+    Counter,
+    GetTile,
+    IngestPatch,
+    LatencyHistogram,
+    MapService,
+    FleetSimulator,
+    Priority,
+    Snapshot,
+    SpatialQuery,
+    Status,
+)
+from repro.serve.cache import RWLock, ShardedTileCache
+from repro.storage import StreamingMap, TileStore
+from repro.storage.tilestore import TileStoreStats
+from repro.update.distribution import MapDistributionServer, VehicleMapClient
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def _add_sign_patch(server, source="crowd", confidence=0.9,
+                    position=(10.0, 5.0)):
+    patch = MapPatch(source=source, confidence=confidence)
+    patch.add(TrafficSign(id=server.new_element_id("sign"),
+                          position=np.asarray(position, dtype=float),
+                          sign_type=SignType.DIRECTION))
+    return patch
+
+
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_backpressure_when_full(self):
+        queue = AdmissionController(AdmissionPolicy(max_queue=2),
+                                    clock=FakeClock())
+        assert queue.offer("a")
+        assert queue.offer("b")
+        assert not queue.offer("c")  # bounded: overflow is rejected
+        assert queue.rejected.value == 1
+        assert queue.depth() == 2
+
+    def test_fifo_order(self):
+        queue = AdmissionController(clock=FakeClock())
+        for name in ("a", "b", "c"):
+            queue.offer(name)
+        assert [queue.take(0) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_stale_low_priority_is_shed(self):
+        clock = FakeClock()
+        shed = []
+        queue = AdmissionController(AdmissionPolicy(max_age_s=0.5),
+                                    on_shed=shed.append, clock=clock)
+        queue.offer("stale-low", Priority.LOW)
+        queue.offer("fresh-normal", Priority.NORMAL)
+        clock.advance(1.0)  # both now aged past max_age_s
+        # The LOW request is shed; NORMAL survives regardless of age.
+        assert queue.take(0) == "fresh-normal"
+        assert shed == ["stale-low"]
+        assert queue.shed.value == 1
+
+    def test_young_low_priority_survives(self):
+        clock = FakeClock()
+        queue = AdmissionController(AdmissionPolicy(max_age_s=0.5),
+                                    clock=clock)
+        queue.offer("low", Priority.LOW)
+        clock.advance(0.4)
+        assert queue.take(0) == "low"
+        assert queue.shed.value == 0
+
+    def test_closed_queue_rejects_and_drains(self):
+        queue = AdmissionController(clock=FakeClock())
+        queue.offer("a")
+        queue.close()
+        assert not queue.offer("b")
+        assert queue.take(0) == "a"
+        assert queue.take(0) is None  # closed and drained
+
+    def test_take_timeout_returns_none(self):
+        queue = AdmissionController()  # real clock: wait path
+        assert queue.take(timeout=0.01) is None
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_age_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_concurrent_increments(self):
+        counter = Counter()
+
+        def bump():
+            for _ in range(1000):
+                counter.add()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+    def test_histogram_percentiles(self):
+        hist = LatencyHistogram(bounds=(0.001, 0.01, 0.1))
+        for _ in range(90):
+            hist.record(0.0005)
+        for _ in range(10):
+            hist.record(0.05)
+        assert hist.count == 100
+        assert hist.percentile(50) == 0.001
+        assert hist.percentile(99) == 0.1
+        assert hist.as_dict()["count"] == 100
+
+    def test_histogram_overflow_bucket(self):
+        hist = LatencyHistogram(bounds=(0.001,))
+        hist.record(5.0)
+        assert hist.percentile(99) == float("inf")
+
+    def test_tilestore_stats_as_dict_and_threaded_updates(self):
+        stats = TileStoreStats()
+
+        def churn():
+            for _ in range(500):
+                stats.record_hit()
+                stats.record_load()
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        exported = stats.as_dict()
+        assert exported["hits"] == exported["loads"] == 2000
+        assert exported["hit_rate"] == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+class TestShardedTileCache:
+    def test_loads_once_then_hits(self, city):
+        store = TileStore.build(city, tile_size=150.0)
+        loads = []
+
+        def loader(tile):
+            loads.append(tile)
+            return store.load_tile(tile)
+
+        cache = ShardedTileCache(loader, n_shards=4, tiles_per_shard=8)
+        tile = store.tiles()[0]
+        first = cache.get(tile)
+        second = cache.get(tile)
+        assert loads == [tile]
+        assert first is second
+        assert cache.hits.value == 1 and cache.misses.value == 1
+
+    def test_eviction_bounds_residency(self, city):
+        store = TileStore.build(city, tile_size=100.0)
+        cache = ShardedTileCache(store.load_tile, n_shards=2,
+                                 tiles_per_shard=2)
+        for tile in store.tiles():
+            cache.get(tile)
+        assert len(cache.resident_tiles()) <= 4
+        assert cache.evictions.value > 0
+
+    def test_invalidate_reloads(self, city):
+        store = TileStore.build(city, tile_size=150.0)
+        cache = ShardedTileCache(store.load_tile)
+        tile = store.tiles()[0]
+        cache.get(tile)
+        cache.invalidate([tile])
+        assert tile not in cache.resident_tiles()
+        cache.get(tile)
+        assert cache.misses.value == 2
+
+    def test_concurrent_readers_agree(self, city):
+        store = TileStore.build(city, tile_size=150.0)
+        cache = ShardedTileCache(store.load_tile, n_shards=4,
+                                 tiles_per_shard=16)
+        tiles = store.tiles()
+        errors = []
+
+        def reader(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(50):
+                tile = tiles[int(rng.integers(0, len(tiles)))]
+                shard = cache.get(tile)
+                direct = store.load_tile(tile)
+                if {e.id for e in shard.elements()} != \
+                        {e.id for e in direct.elements()}:
+                    errors.append(tile)
+
+        threads = [threading.Thread(target=reader, args=(s,))
+                   for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_rwlock_excludes_writers(self):
+        lock = RWLock()
+        log = []
+        with lock.read():
+            with lock.read():  # readers share
+                log.append("nested-read")
+        with lock.write():
+            log.append("write")
+        assert log == ["nested-read", "write"]
+
+    def test_shard_validation(self):
+        with pytest.raises(StorageError):
+            ShardedTileCache(lambda t: None, n_shards=0)
+
+
+# ----------------------------------------------------------------------
+def _world_service(city, **kwargs):
+    store = TileStore.build(city, tile_size=150.0)
+    server = MapDistributionServer(city.copy())
+    kwargs.setdefault("n_workers", 2)
+    return MapService(server, store, **kwargs), store, server
+
+
+class TestMapService:
+    def test_get_tile_matches_store(self, city):
+        service, store, _ = _world_service(city)
+        with service:
+            tile = store.tiles()[0]
+            resp = service.request(GetTile(tile))
+        assert resp.ok
+        assert {e.id for e in resp.payload.elements()} == \
+            {e.id for e in store.load_tile(tile).elements()}
+
+    def test_missing_tile_is_none_payload(self, city):
+        service, _, _ = _world_service(city)
+        with service:
+            resp = service.request(GetTile(TileId(999, 999)))
+        assert resp.ok and resp.payload is None
+
+    def test_spatial_query_matches_streaming_map(self, city):
+        """Regression: the serve-layer cache answers exactly as StreamingMap."""
+        service, store, _ = _world_service(city)
+        streaming = StreamingMap(store, max_tiles=9)
+        with service:
+            for point in [(100.0, 100.0), (250.0, 200.0), (400.0, 120.0)]:
+                resp = service.request(
+                    SpatialQuery(point[0], point[1], 60.0))
+                assert resp.ok
+                served = {e.id for e in resp.payload}
+                direct = {e.id for e in
+                          streaming.elements_in_radius(*point, 60.0)}
+                assert served == direct
+                lm = service.request(SpatialQuery(point[0], point[1], 60.0,
+                                                  landmarks_only=True))
+                assert {e.id for e in lm.payload} == \
+                    {e.id for e in
+                     streaming.landmarks_in_radius(*point, 60.0)}
+
+    def test_ingest_then_changes_since(self, city):
+        service, _, server = _world_service(city)
+        with service:
+            before = server.version
+            resp = service.request(IngestPatch(_add_sign_patch(server)))
+            assert resp.ok and resp.payload.accepted
+            assert resp.version == before + 1
+            delta = service.request(ChangesSince(before))
+            assert delta.ok
+            assert delta.payload.version == before + 1
+            assert len(delta.payload.changes) == 1
+
+    def test_snapshot_is_a_copy(self, city):
+        service, _, server = _world_service(city)
+        with service:
+            resp = service.request(Snapshot())
+        assert resp.ok
+        assert resp.payload is not server.db.map
+        assert len(resp.payload) == len(server.db.map)
+        assert resp.version == server.version
+
+    def test_error_response_keeps_worker_alive(self, city):
+        service, _, _ = _world_service(city)
+        with service:
+            bad = service.request(SpatialQuery(float("nan"), 0.0, -5.0))
+            good = service.request(SpatialQuery(100.0, 100.0, 30.0))
+        # Whatever the handler does with a degenerate query, the pool
+        # must keep serving afterwards.
+        assert good.ok
+        assert bad.status in (Status.OK, Status.ERROR)
+
+    def test_backpressure_rejects_when_not_started(self, city):
+        service, store, _ = _world_service(
+            city, policy=AdmissionPolicy(max_queue=2))
+        tile = store.tiles()[0]
+        futures = [service.submit(GetTile(tile)) for _ in range(3)]
+        assert not futures[0].done() and not futures[1].done()
+        rejected = futures[2].result(timeout=1.0)
+        assert rejected.status is Status.REJECTED
+        assert service.metrics.rejected.value == 1
+        with service:  # starting drains the two admitted requests
+            assert futures[0].result(timeout=5.0).ok
+            assert futures[1].result(timeout=5.0).ok
+
+    def test_metrics_record_latency_per_kind(self, city):
+        service, store, _ = _world_service(city)
+        with service:
+            service.request(GetTile(store.tiles()[0]))
+            service.request(Snapshot())
+        exported = service.metrics.as_dict()
+        assert exported["outcomes"]["GetTile.ok"] == 1
+        assert exported["outcomes"]["Snapshot.ok"] == 1
+        assert exported["latency"]["GetTile"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+class TestConcurrentConsistency:
+    def test_concurrent_ingest_and_sync_clients_consistent(self, city):
+        """N writer + N reader threads; every client ends consistent."""
+        server = MapDistributionServer(city.copy())
+        n_clients, n_patches = 3, 25
+        clients = [VehicleMapClient(server) for _ in range(n_clients)]
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            for k in range(n_patches):
+                result = server.ingest(_add_sign_patch(
+                    server, position=(5.0 * k, 3.0)))
+                if not result.accepted:
+                    failures.append("rejected ingest")
+            stop.set()
+
+        def reader(client):
+            last = client.synced_version
+            while not stop.is_set():
+                client.sync()
+                if client.synced_version < last:
+                    failures.append("version went backwards")
+                last = client.synced_version
+
+        threads = [threading.Thread(target=writer)]
+        threads += [threading.Thread(target=reader, args=(c,))
+                    for c in clients]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert server.version == n_patches
+        for client in clients:
+            client.sync()
+            assert client.is_consistent()
+
+    def test_fleet_run_zero_violations(self, city):
+        service, _, server = _world_service(city, n_workers=3)
+        with service:
+            fleet = FleetSimulator(service, city, n_vehicles=3,
+                                   route_length_m=600.0, step_s=3.0,
+                                   sync_every=3, ingest_every=4, seed=5)
+            report = fleet.run()
+        assert report.error_total == 0
+        assert report.consistency_violations == 0
+        assert report.version_regressions == 0
+        assert report.ok_total == report.requests_total
+        assert sum(r.patches_sent for r in report.vehicles) > 0
+        assert server.version > 0
+        assert report.cache_hit_rate > 0.5  # coherent drives re-hit tiles
+
+    def test_delta_since_is_atomic_suffix(self, city):
+        server = MapDistributionServer(city.copy())
+        for k in range(4):
+            server.ingest(_add_sign_patch(server, position=(10.0 * k, 4.0)))
+        delta = server.delta_since(2)
+        assert delta.version == 4
+        assert len(delta.changes) == 2
+        assert set(delta.elements) == {c.element_id for c in delta.changes}
+        for eid, element in delta.elements.items():
+            assert element is not None and element.id == eid
