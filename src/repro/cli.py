@@ -7,6 +7,7 @@ Usage::
     python -m repro validate city.json
     python -m repro route city.json --from 100,100 --to 600,400
     python -m repro serve-bench city.json --workers 1,4 --vehicles 8
+    python -m repro ingest-bench city.json --workers 1,4 --vehicles 4
     python -m repro taxonomy
 """
 
@@ -159,6 +160,70 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.changes import ChangeType
+    from repro.ingest import FleetObservationSource, IngestPipeline
+    from repro.storage import load_map
+    from repro.update.distribution import MapDistributionServer
+    from repro.world.scenario import ChangeSpec, apply_changes
+
+    hdmap = load_map(args.map)
+    rng = np.random.default_rng(args.seed)
+    scenario = apply_changes(
+        hdmap, ChangeSpec(remove_signs=args.remove_signs,
+                          add_signs=args.add_signs), rng)
+    n_true = len(scenario.true_changes)
+    print(f"ingesting against {hdmap.name}: {n_true} injected change(s), "
+          f"{args.vehicles} vehicles x {args.routes} route(s) x "
+          f"{args.route / 1000:.1f} km")
+    header = (f"{'workers':>7}  {'published':>9}  {'throughput':>12}  "
+              f"{'versions':>8}  {'detected':>8}  {'dedup':>6}  "
+              f"{'dead':>4}  {'fresh p95':>9}")
+    print(header)
+    print("-" * len(header))
+    for workers in args.workers:
+        server = MapDistributionServer(scenario.prior.copy())
+        pipe = IngestPipeline(server, tile_size=args.tile_size,
+                              n_workers=workers,
+                              n_partitions=max(8, workers),
+                              capacity_per_partition=8192,
+                              stage_latency_s=args.stage_latency_ms / 1e3)
+        source = FleetObservationSource(
+            scenario, n_vehicles=args.vehicles,
+            route_length_m=args.route, step_s=0.5,
+            routes_per_vehicle=args.routes,
+            duplicate_rate=args.duplicate_rate, seed=args.seed)
+        report = source.run(pipe.submit)
+        t0 = time.perf_counter()
+        with pipe:
+            pipe.drain(120.0)
+        elapsed = time.perf_counter() - t0
+        changes = server.changes_since(0)
+        removed = {c.element_id for c in changes
+                   if c.change_type is ChangeType.REMOVED}
+        added = [c.position for c in changes
+                 if c.change_type is ChangeType.ADDED]
+        detected = 0
+        for true_change in scenario.true_changes:
+            if true_change.change_type is ChangeType.REMOVED:
+                detected += true_change.element_id in removed
+            else:
+                tx, ty = true_change.position
+                detected += any(
+                    float(np.hypot(tx - ax, ty - ay)) <= 6.0
+                    for ax, ay in added)
+        stats = pipe.stats()
+        print(f"{workers:>7}  {report.published:>9}  "
+              f"{report.published / max(elapsed, 1e-9):>8.0f} o/s  "
+              f"{server.version:>8}  {detected:>5}/{n_true}  "
+              f"{report.deduplicated:>6}  "
+              f"{stats['batches']['dead_letters']:>4}  "
+              f"{1e3 * stats['freshness']['p95_s']:>6.1f} ms")
+    return 0
+
+
 def _cmd_taxonomy(args: argparse.Namespace) -> int:
     from repro import taxonomy
 
@@ -220,6 +285,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated blob-fetch cost on tile cache misses")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=_cmd_serve_bench)
+
+    ingest = sub.add_parser(
+        "ingest-bench",
+        help="stream a synthetic fleet through the ingest pipeline")
+    ingest.add_argument("map")
+    ingest.add_argument("--workers", type=_parse_worker_list, default=[1, 4],
+                        metavar="N,M,...",
+                        help="stage-worker pool sizes to sweep (default 1,4)")
+    ingest.add_argument("--vehicles", type=int, default=4)
+    ingest.add_argument("--routes", type=int, default=3,
+                        help="routes per vehicle (coverage)")
+    ingest.add_argument("--route", type=float, default=1200.0,
+                        help="route length per vehicle, metres")
+    ingest.add_argument("--remove-signs", type=int, default=2,
+                        help="ground-truth sign removals to inject")
+    ingest.add_argument("--add-signs", type=int, default=2,
+                        help="ground-truth sign additions to inject")
+    ingest.add_argument("--duplicate-rate", type=float, default=0.1,
+                        help="fraction of reports re-sent (at-least-once "
+                             "uplink)")
+    ingest.add_argument("--stage-latency-ms", type=float, default=2.0,
+                        help="simulated per-batch I/O cost in the pipeline")
+    ingest.add_argument("--tile-size", type=float, default=250.0)
+    ingest.add_argument("--seed", type=int, default=7)
+    ingest.set_defaults(func=_cmd_ingest_bench)
 
     tax = sub.add_parser("taxonomy", help="print Table I with coverage")
     tax.set_defaults(func=_cmd_taxonomy)

@@ -53,3 +53,7 @@ class LocalizationError(HDMapError):
 
 class UpdateError(HDMapError):
     """A map maintenance/update pipeline failed."""
+
+
+class IngestError(HDMapError):
+    """An observation or batch failed ingestion (validation, staging)."""

@@ -1,0 +1,246 @@
+"""Tile-partitioned observation bus: bounded queues, dedup, backpressure.
+
+The fleet-to-map path has to absorb "heavy traffic from millions of users"
+without an unbounded backlog, and the MEC/RSU design of the source paper
+aggregates crowd reports *per region* before they reach the map maker
+[47]. :class:`ObservationBus` is that regional aggregation point in
+process form:
+
+- observations are partitioned by the tile of their position, so one
+  tile's evidence always lands in one partition and downstream per-tile
+  state needs no cross-worker locking;
+- each partition is a *bounded* queue — when a partition overflows, the
+  oldest unleased observation of that partition is shed (count exported),
+  because stale evidence is the cheapest to lose;
+- duplicate uplinks are dropped at the door via a sliding window over
+  ``(vehicle, seq)`` dedup keys;
+- :meth:`poll` leases a tile-coherent :class:`ObservationBatch`;
+  the batch is redelivered if it is nacked (retry with backoff) or its
+  lease expires (worker crash), which is what makes delivery
+  at-least-once end to end.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.tiles import TileId, TileScheme
+from repro.errors import IngestError
+from repro.ingest.observation import Observation, ObservationBatch
+from repro.serve.metrics import Counter
+
+
+class _Partition:
+    """One bounded partition: pending queue + dedup window + delivery state."""
+
+    __slots__ = ("cond", "pending", "recent", "inflight", "retry")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.cond = threading.Condition(lock)
+        self.pending: Deque[Observation] = deque()
+        self.recent: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        # batch_id -> (batch, lease deadline)
+        self.inflight: Dict[int, Tuple[ObservationBatch, float]] = {}
+        # (ready_time, tiebreak, batch) min-heap of nacked batches
+        self.retry: List[Tuple[float, int, ObservationBatch]] = []
+
+
+class ObservationBus:
+    """Partitioned, bounded, deduplicating observation transport."""
+
+    def __init__(self, tile_size: float = 250.0, n_partitions: int = 4,
+                 capacity_per_partition: int = 1024,
+                 dedup_window: int = 8192,
+                 lease_timeout_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if n_partitions < 1:
+            raise IngestError("n_partitions must be >= 1")
+        if capacity_per_partition < 1:
+            raise IngestError("capacity_per_partition must be >= 1")
+        self.scheme = TileScheme(tile_size)
+        self.n_partitions = n_partitions
+        self.capacity_per_partition = capacity_per_partition
+        self.dedup_window = dedup_window
+        self.lease_timeout_s = lease_timeout_s
+        self._clock = clock
+        self._partitions = [_Partition(threading.Lock())
+                            for _ in range(n_partitions)]
+        self._retry_tiebreak = itertools.count()
+        self._closed = False
+        self.published = Counter()
+        self.deduplicated = Counter()
+        self.shed_oldest = Counter()
+        self.redelivered = Counter()
+        self.acked_batches = Counter()
+
+    # -- producer side --------------------------------------------------
+    def partition_of(self, tile: TileId) -> int:
+        """Stable tile -> partition assignment (one tile, one partition)."""
+        return ((tile.tx * 73856093) ^ (tile.ty * 19349663)) \
+            % self.n_partitions
+
+    def publish(self, obs: Observation) -> bool:
+        """Enqueue one observation; returns False if deduplicated.
+
+        A full partition sheds its *oldest* pending observation to admit
+        the new one (freshest-evidence-wins backpressure); the shed count
+        is exported, never silent.
+        """
+        if self._closed:
+            raise IngestError("bus is closed")
+        tile = self.scheme.tile_of(*obs.position)
+        part = self._partitions[self.partition_of(tile)]
+        with part.cond:
+            key = obs.dedup_key
+            if key in part.recent:
+                self.deduplicated.add()
+                return False
+            part.recent[key] = None
+            while len(part.recent) > self.dedup_window:
+                part.recent.popitem(last=False)
+            if len(part.pending) >= self.capacity_per_partition:
+                part.pending.popleft()
+                self.shed_oldest.add()
+            obs.enqueued_at = self._clock()
+            part.pending.append(obs)
+            self.published.add()
+            part.cond.notify()
+        return True
+
+    # -- consumer side --------------------------------------------------
+    def _ready_retry(self, part: _Partition,
+                     now: float) -> Optional[ObservationBatch]:
+        if part.retry and part.retry[0][0] <= now:
+            _, _, batch = heapq.heappop(part.retry)
+            return batch
+        return None
+
+    def _build_batch(self, part: _Partition, partition: int,
+                     max_batch: int) -> Optional[ObservationBatch]:
+        """Lease a tile-coherent batch off the pending queue."""
+        if not part.pending:
+            return None
+        head_tile = self.scheme.tile_of(*part.pending[0].position)
+        taken: List[Observation] = []
+        kept: List[Observation] = []
+        while part.pending and len(taken) < max_batch:
+            obs = part.pending.popleft()
+            if self.scheme.tile_of(*obs.position) == head_tile:
+                taken.append(obs)
+            else:
+                kept.append(obs)
+        for obs in reversed(kept):
+            part.pending.appendleft(obs)
+        return ObservationBatch(tile=head_tile, partition=partition,
+                                observations=taken)
+
+    def poll(self, partition: int, max_batch: int = 32,
+             timeout: Optional[float] = None) -> Optional[ObservationBatch]:
+        """Lease the next batch of ``partition`` (retries first).
+
+        Returns None when the bus is closed with nothing pending, or when
+        ``timeout`` elapses. The leased batch must be :meth:`ack`-ed or
+        :meth:`nack`-ed; otherwise its lease expires after
+        ``lease_timeout_s`` and it is redelivered.
+        """
+        part = self._partitions[partition]
+        deadline = None if timeout is None else self._clock() + timeout
+        with part.cond:
+            while True:
+                now = self._clock()
+                batch = self._ready_retry(part, now)
+                if batch is None:
+                    batch = self._build_batch(part, partition, max_batch)
+                if batch is not None:
+                    part.inflight[batch.batch_id] = (
+                        batch, now + self.lease_timeout_s)
+                    return batch
+                if self._closed and not part.retry:
+                    return None
+                wait: Optional[float] = None
+                if part.retry:
+                    wait = max(0.0, part.retry[0][0] - now)
+                if deadline is not None:
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                part.cond.wait(wait)
+
+    def ack(self, batch: ObservationBatch) -> None:
+        """Mark a batch done; it will never be redelivered."""
+        part = self._partitions[batch.partition]
+        with part.cond:
+            if part.inflight.pop(batch.batch_id, None) is not None:
+                self.acked_batches.add()
+
+    def nack(self, batch: ObservationBatch, delay_s: float = 0.0) -> None:
+        """Schedule a failed batch for redelivery after ``delay_s``."""
+        part = self._partitions[batch.partition]
+        with part.cond:
+            if part.inflight.pop(batch.batch_id, None) is None:
+                return  # already acked or lease-expired elsewhere
+            batch.attempts += 1
+            heapq.heappush(part.retry, (self._clock() + delay_s,
+                                        next(self._retry_tiebreak), batch))
+            self.redelivered.add()
+            part.cond.notify()
+
+    def redeliver_expired(self) -> int:
+        """Requeue every in-flight batch whose lease expired (crashed
+        worker); returns how many were redelivered."""
+        now = self._clock()
+        total = 0
+        for part in self._partitions:
+            with part.cond:
+                expired = [bid for bid, (_, dl) in part.inflight.items()
+                           if dl <= now]
+                for bid in expired:
+                    batch, _ = part.inflight.pop(bid)
+                    batch.attempts += 1
+                    heapq.heappush(part.retry,
+                                   (now, next(self._retry_tiebreak), batch))
+                    self.redelivered.add()
+                    total += 1
+                if expired:
+                    part.cond.notify_all()
+        return total
+
+    # -- introspection --------------------------------------------------
+    def depth(self, partition: int) -> int:
+        part = self._partitions[partition]
+        with part.cond:
+            return len(part.pending) + len(part.retry)
+
+    def total_depth(self) -> int:
+        return sum(self.depth(p) for p in range(self.n_partitions))
+
+    def in_flight(self) -> int:
+        total = 0
+        for part in self._partitions:
+            with part.cond:
+                total += len(part.inflight)
+        return total
+
+    def partition_drained(self, partition: int) -> bool:
+        """Nothing pending, retrying, or leased in one partition."""
+        part = self._partitions[partition]
+        with part.cond:
+            return not (part.pending or part.retry or part.inflight)
+
+    def is_drained(self) -> bool:
+        """Nothing pending, retrying, or leased anywhere."""
+        return all(self.partition_drained(p)
+                   for p in range(self.n_partitions))
+
+    def close(self) -> None:
+        """Stop admitting; wake all pollers so they can drain and exit."""
+        self._closed = True
+        for part in self._partitions:
+            with part.cond:
+                part.cond.notify_all()

@@ -1,0 +1,197 @@
+"""Synthetic fleet observation source: world -> sensors -> bus.
+
+The producer half of the maintenance loop. Each synthetic vehicle drives
+a route over the scenario's *reality* (the world as it actually is),
+senses with the noise-modelled :class:`~repro.sensors.camera.Camera`, and
+reports against the *prior* (the map the fleet believes): every sighted
+sign becomes a DETECTION at its estimated world position, and every
+prior-map sign that was in the field of view but unseen becomes a MISS —
+exactly the per-traversal evidence of Pannen et al.'s FCD pipelines
+[42][44]. Vehicles run in their own threads, so the bus sees genuinely
+concurrent, spatially coherent uplink traffic; ``duplicate_rate``
+re-sends a fraction of reports to model an at-least-once uplink and
+exercise the bus's dedup window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.elements import TrafficSign
+from repro.geometry.transform import SE2
+from repro.ingest.observation import Observation, ObservationKind
+from repro.sensors.camera import Camera
+from repro.world.scenario import Scenario
+from repro.world.traffic import drive_route
+
+
+@dataclass
+class SourceReport:
+    """What the producer fleet pushed into the bus."""
+
+    n_vehicles: int
+    produced: int = 0       # observations generated (incl. duplicates)
+    published: int = 0      # accepted by the bus
+    deduplicated: int = 0   # rejected as duplicates
+    per_vehicle: List[int] = field(default_factory=list)
+
+
+class FleetObservationSource:
+    """N producer threads generating detection/miss evidence."""
+
+    def __init__(self, scenario: Scenario, n_vehicles: int = 4,
+                 route_length_m: float = 1500.0, step_s: float = 1.0,
+                 camera: Optional[Camera] = None,
+                 localization_sigma: float = 0.3,
+                 match_radius: float = 3.0,
+                 max_report_range: float = 35.0,
+                 routes_per_vehicle: int = 1,
+                 duplicate_rate: float = 0.0,
+                 seed: int = 0) -> None:
+        if n_vehicles < 1:
+            raise ValueError("n_vehicles must be >= 1")
+        self.scenario = scenario
+        self.n_vehicles = n_vehicles
+        self.route_length_m = route_length_m
+        self.step_s = step_s
+        self.camera = camera if camera is not None else Camera(
+            detection_prob=0.9, false_positive_rate=0.02)
+        self.localization_sigma = localization_sigma
+        self.match_radius = match_radius
+        # Long-range detections carry metre-scale range noise; real upload
+        # pipelines only report high-quality (near) detections, and the
+        # miss logic below must use the same horizon to stay consistent.
+        self.max_report_range = max_report_range
+        # Each vehicle can drive several routes from rotated start lanes;
+        # with ceil(n_lanes / n_vehicles) routes the fleet starts a route
+        # on every lane, which makes network coverage structural rather
+        # than a roll of the routing dice.
+        self.routes_per_vehicle = max(1, routes_per_vehicle)
+        self.duplicate_rate = duplicate_rate
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def observations_for_vehicle(self, idx: int) -> List[Observation]:
+        """Deterministically generate one vehicle's full report stream."""
+        reality = self.scenario.reality
+        rng = np.random.default_rng(self.seed + 977 * idx)
+        lanes = sorted(reality.lanes(), key=lambda l: l.length, reverse=True)
+
+        vehicle = f"vehicle-{idx}"
+        seq = 0
+        out: List[Observation] = []
+        t_base = 0.0
+        for route_idx in range(self.routes_per_vehicle):
+            start = lanes[(idx + route_idx * self.n_vehicles) % len(lanes)]
+            trajectory = drive_route(reality, start.id,
+                                     self.route_length_m, rng)
+            seq, t_base = self._observe_route(
+                trajectory, vehicle, seq, t_base, rng, out)
+        return out
+
+    def _observe_route(self, trajectory, vehicle: str, seq: int,
+                       t_base: float, rng: np.random.Generator,
+                       out: List[Observation]) -> tuple:
+        """Sense one driven route; returns the updated (seq, t_base)."""
+        reality = self.scenario.reality
+        prior = self.scenario.prior
+        t = trajectory.start_time
+        while t <= trajectory.end_time:
+            t_obs = t_base + float(t) - trajectory.start_time
+            true_pose = trajectory.pose_at(float(t))
+            est_pose = SE2(
+                true_pose.x + float(rng.normal(0, self.localization_sigma)),
+                true_pose.y + float(rng.normal(0, self.localization_sigma)),
+                true_pose.theta,
+            )
+            detections = [
+                d for d in self.camera.observe_signs(reality, true_pose, rng,
+                                                     t=float(t))
+                # The sign-maintenance pipeline consumes sign reports only;
+                # the camera's traffic-light returns go to a different loop.
+                if d.sign_type != "traffic_light"
+                and d.range <= self.max_report_range
+            ]
+            det_world = [est_pose.apply(d.body_frame_position())
+                         for d in detections]
+            for det, world in zip(detections, det_world):
+                sigma = float(np.hypot(self.localization_sigma,
+                                       det.range * self.camera.range_sigma_rel))
+                out.append(Observation(
+                    kind=ObservationKind.DETECTION,
+                    position=(float(world[0]), float(world[1])),
+                    sigma=max(sigma, 0.05),
+                    vehicle=vehicle, seq=seq, t=t_obs,
+                    sign_type=det.sign_type,
+                ))
+                seq += 1
+            # Expected-but-unseen prior signs in the field of view.
+            report_range = min(self.camera.max_range, self.max_report_range)
+            expected = [
+                s for s in prior.landmarks_in_radius(
+                    est_pose.x, est_pose.y, report_range)
+                if isinstance(s, TrafficSign)
+                and self.camera.in_view(est_pose, s.position)
+            ]
+            for sign in expected:
+                seen = any(
+                    float(np.hypot(*(w - sign.position))) <= self.match_radius
+                    for w in det_world)
+                if not seen:
+                    out.append(Observation(
+                        kind=ObservationKind.MISS,
+                        position=(float(sign.position[0]),
+                                  float(sign.position[1])),
+                        sigma=self.localization_sigma,
+                        vehicle=vehicle, seq=seq, t=t_obs,
+                        element_id=sign.id,
+                    ))
+                    seq += 1
+            t += self.step_s
+        duration = trajectory.end_time - trajectory.start_time
+        return seq, t_base + float(duration) + self.step_s
+
+    # ------------------------------------------------------------------
+    def _produce(self, idx: int, submit: Callable[[Observation], bool],
+                 report: SourceReport, lock: threading.Lock) -> None:
+        rng = np.random.default_rng(self.seed + 31 * idx + 5)
+        produced = published = deduped = 0
+        for obs in self.observations_for_vehicle(idx):
+            produced += 1
+            if submit(obs):
+                published += 1
+            else:
+                deduped += 1
+            if self.duplicate_rate > 0 and \
+                    rng.uniform() < self.duplicate_rate:
+                # At-least-once uplink: the same report goes out twice.
+                produced += 1
+                if submit(dataclasses.replace(obs)):
+                    published += 1
+                else:
+                    deduped += 1
+        with lock:
+            report.produced += produced
+            report.published += published
+            report.deduplicated += deduped
+            report.per_vehicle.append(published)
+
+    def run(self, submit: Callable[[Observation], bool]) -> SourceReport:
+        """Drive all vehicles concurrently; returns the producer report."""
+        report = SourceReport(n_vehicles=self.n_vehicles)
+        lock = threading.Lock()
+        threads = [
+            threading.Thread(target=self._produce, name=f"producer-{i}",
+                             args=(i, submit, report, lock), daemon=True)
+            for i in range(self.n_vehicles)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return report

@@ -1,0 +1,120 @@
+"""End-to-end observability of the ingestion pipeline.
+
+Reuses the serving layer's thread-safe :class:`Counter` and
+:class:`LatencyHistogram` primitives and adds the two surfaces the
+maintenance loop needs: per-stage latency histograms (where in
+validate -> associate -> fuse -> classify -> emit does time go) and the
+*map-freshness lag* — the wall time from an observation entering the bus
+to the moment its confirmed patch is visible to ``ChangesSince`` on the
+serving layer. Freshness is the metric the whole subsystem exists to
+drive down; it is also mirrored into
+:class:`~repro.serve.metrics.ServiceMetrics` when the publisher is wired
+to a service, so one dashboard shows both sides of the loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.serve.metrics import (
+    FRESHNESS_BOUNDS,
+    Counter,
+    LatencyHistogram,
+)
+
+#: Stage latencies are short (in-process work): 10 us .. 1 s, then +inf.
+STAGE_BOUNDS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1.0)
+
+
+class Gauge:
+    """A thread-safe last-value gauge (queue depths, in-flight counts)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class IngestMetrics:
+    """Counters, gauges, and histograms for one pipeline instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stage_latency: Dict[str, LatencyHistogram] = {}
+        self.freshness = LatencyHistogram(FRESHNESS_BOUNDS)
+        # consumer-side (producer-side counts live on the ObservationBus
+        # and are merged into the export by IngestPipeline.stats())
+        self.observations_processed = Counter()
+        self.batches_processed = Counter()
+        self.batch_retries = Counter()
+        self.dead_letters = Counter()
+        self.worker_restarts = Counter()
+        # publish-side
+        self.patches_published = Counter()
+        self.patches_duplicate = Counter()
+        self.patches_conflicted = Counter()
+        # gauges, keyed by partition index
+        self.queue_depth: Dict[int, Gauge] = {}
+        self.in_flight = Gauge()
+
+    def stage_histogram(self, stage: str) -> LatencyHistogram:
+        with self._lock:
+            hist = self._stage_latency.get(stage)
+            if hist is None:
+                hist = self._stage_latency[stage] = \
+                    LatencyHistogram(STAGE_BOUNDS)
+            return hist
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        self.stage_histogram(stage).record(seconds)
+
+    def record_freshness(self, lag_s: float) -> None:
+        self.freshness.record(lag_s)
+
+    def depth_gauge(self, partition: int) -> Gauge:
+        with self._lock:
+            gauge = self.queue_depth.get(partition)
+            if gauge is None:
+                gauge = self.queue_depth[partition] = Gauge()
+            return gauge
+
+    def freshness_p95_s(self) -> float:
+        return self.freshness.percentile(95.0)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Consistent point-in-time export for dashboards/CLI output."""
+        with self._lock:
+            stages: List[str] = sorted(self._stage_latency)
+            depths = {p: g.value for p, g in sorted(self.queue_depth.items())}
+        return {
+            "stage_latency": {s: self.stage_histogram(s).snapshot()
+                              for s in stages},
+            "freshness": self.freshness.snapshot(),
+            "queue_depth": depths,
+            "in_flight": self.in_flight.value,
+            "observations": {
+                "processed": self.observations_processed.value,
+            },
+            "batches": {
+                "processed": self.batches_processed.value,
+                "retries": self.batch_retries.value,
+                "dead_letters": self.dead_letters.value,
+                "worker_restarts": self.worker_restarts.value,
+            },
+            "patches": {
+                "published": self.patches_published.value,
+                "duplicate_suppressed": self.patches_duplicate.value,
+                "conflicted": self.patches_conflicted.value,
+            },
+        }

@@ -1,0 +1,138 @@
+"""Idempotent patch publication into the authoritative map database.
+
+The last hop of the maintenance loop: confirmed :class:`ConfirmedPatch`
+objects are ingested into :class:`~repro.update.distribution.MapDistributionServer`
+under a configurable :class:`~repro.update.distribution.ConflictPolicy`,
+after which the serving layer's ``ChangesSince`` immediately reflects them
+(both read the same versioned database).
+
+Delivery upstream is at-least-once, so the same logical change can reach
+the publisher more than once (batch redelivery after a worker crash, a
+retry that half-succeeded). The publisher makes publication *exactly-once
+per patch key*: a key that was ever accepted is never applied again, and
+the suppression is counted, never silent. It also closes the freshness
+measurement: the lag from the oldest contributing observation's enqueue
+stamp to the version the patch became servable at.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.core.versioning import MapPatch
+from repro.ingest.metrics import IngestMetrics
+from repro.serve.metrics import ServiceMetrics
+from repro.update.distribution import (
+    ConflictPolicy,
+    IngestResult,
+    MapDistributionServer,
+)
+
+
+@dataclass
+class ConfirmedPatch:
+    """A pipeline-confirmed patch plus its idempotency key.
+
+    ``key`` deterministically names the logical change (tile + change type
+    + target), so redelivered emissions collide instead of duplicating.
+    ``enqueued_at`` is the bus enqueue stamp of the oldest observation
+    that contributed — the start of the freshness-lag clock.
+    """
+
+    key: str
+    patch: MapPatch
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class PublishResult:
+    published: bool
+    duplicate: bool
+    version: Optional[int]
+    result: Optional[IngestResult] = None
+
+
+class PatchPublisher:
+    """Exactly-once (per key) publisher in front of the map database."""
+
+    def __init__(self, server: MapDistributionServer,
+                 policy: Optional[ConflictPolicy] = None,
+                 metrics: Optional[IngestMetrics] = None,
+                 service_metrics: Optional[ServiceMetrics] = None,
+                 add_conflation_radius: float = 6.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.server = server
+        self.policy = policy
+        self.metrics = metrics
+        self.service_metrics = service_metrics
+        self.add_conflation_radius = add_conflation_radius
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._published_keys: Set[str] = set()
+        self._published_add_positions: List[Tuple[float, float]] = []
+
+    def _conflated_add(self, patch: MapPatch) -> bool:
+        """A single-AddElement patch whose landmark sits within the
+        conflation radius of an already-published add is the same physical
+        change reported through a different tile/cluster — suppress it."""
+        if self.add_conflation_radius <= 0 or len(patch.ops) != 1:
+            return False
+        op = patch.ops[0]
+        position = getattr(getattr(op, "element", None), "position", None)
+        if position is None:
+            return False
+        x, y = float(position[0]), float(position[1])
+        return any(math.hypot(px - x, py - y) <= self.add_conflation_radius
+                   for px, py in self._published_add_positions)
+
+    def _remember_adds(self, patch: MapPatch) -> None:
+        for op in patch.ops:
+            position = getattr(getattr(op, "element", None), "position",
+                               None)
+            if position is not None:
+                self._published_add_positions.append(
+                    (float(position[0]), float(position[1])))
+
+    def seen(self, key: str) -> bool:
+        with self._lock:
+            return key in self._published_keys
+
+    def published_count(self) -> int:
+        with self._lock:
+            return len(self._published_keys)
+
+    def publish(self, confirmed: ConfirmedPatch) -> PublishResult:
+        """Ingest one confirmed patch; duplicates are suppressed.
+
+        The key set is checked and the ingest performed under one lock,
+        so two redeliveries racing on the same key cannot both apply.
+        Keys are only recorded for *accepted* patches — a patch rejected
+        by the conflict policy may legitimately be retried later.
+        """
+        with self._lock:
+            if confirmed.key in self._published_keys or \
+                    self._conflated_add(confirmed.patch):
+                if self.metrics is not None:
+                    self.metrics.patches_duplicate.add()
+                return PublishResult(False, True, None)
+            result = self.server.ingest(confirmed.patch, policy=self.policy)
+            if result.accepted:
+                self._published_keys.add(confirmed.key)
+                self._remember_adds(confirmed.patch)
+        if not result.accepted:
+            if self.metrics is not None:
+                self.metrics.patches_conflicted.add()
+            return PublishResult(False, False, None, result)
+        if self.metrics is not None:
+            self.metrics.patches_published.add()
+        if confirmed.enqueued_at > 0.0:
+            lag = max(0.0, self._clock() - confirmed.enqueued_at)
+            if self.metrics is not None:
+                self.metrics.record_freshness(lag)
+            if self.service_metrics is not None:
+                self.service_metrics.record_freshness(lag)
+        return PublishResult(True, False, result.version, result)

@@ -43,7 +43,10 @@ class LatencyHistogram:
     """Fixed-bucket latency histogram with quantile estimates.
 
     Quantiles are resolved to the upper bound of the containing bucket
-    (a conservative estimate), which is what fleet SLO reporting wants.
+    (a conservative estimate), which is what fleet SLO reporting wants —
+    but the exact observed min/max are tracked alongside the buckets, and
+    every quantile is clamped to the observed max so sparse data (one
+    sample per bucket) is not overstated by a whole bucket width.
     """
 
     def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
@@ -54,6 +57,8 @@ class LatencyHistogram:
         self._counts: List[int] = [0] * (len(self.bounds) + 1)
         self._total_s = 0.0
         self._count = 0
+        self._min_s = float("inf")
+        self._max_s = 0.0
 
     def record(self, seconds: float) -> None:
         idx = len(self.bounds)
@@ -65,6 +70,10 @@ class LatencyHistogram:
             self._counts[idx] += 1
             self._total_s += seconds
             self._count += 1
+            if seconds < self._min_s:
+                self._min_s = seconds
+            if seconds > self._max_s:
+                self._max_s = seconds
 
     @property
     def count(self) -> int:
@@ -76,13 +85,27 @@ class LatencyHistogram:
         with self._lock:
             return self._total_s / self._count if self._count else 0.0
 
+    @property
+    def min_s(self) -> float:
+        """Exact smallest recorded latency (0.0 when empty)."""
+        with self._lock:
+            return self._min_s if self._count else 0.0
+
+    @property
+    def max_s(self) -> float:
+        """Exact largest recorded latency (0.0 when empty)."""
+        with self._lock:
+            return self._max_s
+
     def percentile(self, q: float) -> float:
-        """Upper bound of the bucket containing the q-th percentile."""
+        """Upper bound of the bucket containing the q-th percentile,
+        clamped to the exact observed maximum."""
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
         with self._lock:
             counts = list(self._counts)
             total = self._count
+            max_s = self._max_s
         if total == 0:
             return 0.0
         rank = q / 100.0 * total
@@ -90,21 +113,43 @@ class LatencyHistogram:
         for i, c in enumerate(counts):
             running += c
             if running >= rank:
-                return self.bounds[i] if i < len(self.bounds) else float("inf")
-        return float("inf")
+                bound = self.bounds[i] if i < len(self.bounds) \
+                    else float("inf")
+                return min(bound, max_s)
+        return max_s
 
-    def as_dict(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, float]:
+        """Point-in-time export: count, mean, quantiles, exact min/max."""
         return {
             "count": self.count,
             "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
             "p50_s": self.percentile(50.0),
             "p95_s": self.percentile(95.0),
             "p99_s": self.percentile(99.0),
         }
 
+    def as_dict(self) -> Dict[str, float]:
+        return self.snapshot()
+
+
+#: Wider bounds for map-freshness lag (observation enqueue -> served
+#: version): 10 ms .. 60 s, then +inf.
+FRESHNESS_BOUNDS: Tuple[float, ...] = (
+    0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 60.0,
+)
+
 
 class ServiceMetrics:
-    """Per-request-type latency/outcome metrics plus admission counters."""
+    """Per-request-type latency/outcome metrics plus admission counters.
+
+    ``freshness`` is the map-freshness lag histogram: the wall time from a
+    fleet observation entering the ingestion pipeline to the moment the
+    resulting patch is visible to ``ChangesSince`` on this service. The
+    ingest layer feeds it via :meth:`record_freshness`; it stays empty for
+    services with no live ingestion behind them.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -113,6 +158,11 @@ class ServiceMetrics:
         self.rejected = Counter()   # backpressure at submit
         self.shed = Counter()       # stale low-priority dropped by workers
         self.errors = Counter()
+        self.freshness = LatencyHistogram(FRESHNESS_BOUNDS)
+
+    def record_freshness(self, lag_s: float) -> None:
+        """Record one observation-enqueue -> served-version lag."""
+        self.freshness.record(lag_s)
 
     def _histogram(self, kind: str) -> LatencyHistogram:
         with self._lock:
@@ -156,7 +206,7 @@ class ServiceMetrics:
             outcomes = {f"{kind}.{status}": counter.value
                         for (kind, status), counter in
                         sorted(self._outcomes.items())}
-        return {
+        out: Dict[str, object] = {
             "latency": {kind: self._histogram(kind).as_dict()
                         for kind in kinds},
             "outcomes": outcomes,
@@ -164,3 +214,6 @@ class ServiceMetrics:
             "shed": self.shed.value,
             "errors": self.errors.value,
         }
+        if self.freshness.count:
+            out["freshness"] = self.freshness.snapshot()
+        return out

@@ -12,12 +12,14 @@ Three representations span the storage spectrum the survey discusses:
 
 from repro.storage.geojson import map_from_dict, map_to_dict, load_map, save_map
 from repro.storage.binary import decode_map, encode_map
+from repro.storage.journal import RecordJournal
 from repro.storage.pointcloud import PointCloudMap, build_pointcloud_map
 from repro.storage.stats import StorageReport, storage_report
 from repro.storage.tilestore import StreamingMap, TileStore
 
 __all__ = [
     "PointCloudMap",
+    "RecordJournal",
     "StorageReport",
     "StreamingMap",
     "TileStore",

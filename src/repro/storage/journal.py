@@ -1,0 +1,84 @@
+"""Append-only record journal: durable bookkeeping for streaming pipelines.
+
+The survey's maintenance loop assumes observations and failures are never
+silently lost — SLAMCU reports every detected change to the database [41],
+and the MEC design [47] buffers crowd reports at the edge before they are
+aggregated. :class:`RecordJournal` is the storage primitive behind that:
+an append-only, thread-safe log of plain-dict records with optional JSONL
+persistence, used by the ingest pipeline's dead-letter queue so poison
+observations remain inspectable and replayable after the run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import StorageError
+
+
+class RecordJournal:
+    """A thread-safe append-only log of JSON-serializable dict records.
+
+    Records are kept in order in memory; when ``path`` is given, every
+    append is also written through as one JSON line, so a crashed process
+    leaves a complete on-disk trail. Replaying never mutates the journal.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, object]] = []
+        self._path = path
+        self._fh = None
+        if path is not None:
+            try:
+                self._fh = open(path, "a", encoding="utf-8")
+            except OSError as exc:
+                raise StorageError(f"cannot open journal {path!r}: {exc}") \
+                    from exc
+
+    def append(self, record: Dict[str, object]) -> int:
+        """Append one record; returns its sequence number (0-based)."""
+        if not isinstance(record, dict):
+            raise StorageError("journal records must be dicts")
+        with self._lock:
+            seq = len(self._records)
+            self._records.append(dict(record))
+            if self._fh is not None:
+                self._fh.write(json.dumps(record, default=str) + "\n")
+                self._fh.flush()
+            return seq
+
+    def replay(self) -> List[Dict[str, object]]:
+        """A point-in-time copy of every record, in append order."""
+        with self._lock:
+            return [dict(r) for r in self._records]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.replay())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    @staticmethod
+    def load(path: str) -> "RecordJournal":
+        """Rebuild a journal's in-memory state from its JSONL file."""
+        journal = RecordJournal()
+        try:
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        journal.append(json.loads(line))
+        except OSError as exc:
+            raise StorageError(f"cannot read journal {path!r}: {exc}") \
+                from exc
+        return journal

@@ -26,7 +26,7 @@ import copy
 import enum
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -92,6 +92,14 @@ class MapDistributionServer:
         self.conflict_window = conflict_window
         self._touched: Dict[ElementId, _Provenance] = {}
         self._lock = threading.RLock()
+        self._listeners: List[Callable[[int, MapPatch], None]] = []
+
+    def add_listener(self, fn: Callable[[int, MapPatch], None]) -> None:
+        """Register ``fn(version, patch)``, called after each accepted
+        ingest (outside the server lock; listeners must not block long
+        and may call back into the server)."""
+        with self._lock:
+            self._listeners.append(fn)
 
     @property
     def version(self) -> int:
@@ -120,22 +128,34 @@ class MapDistributionServer:
         return out
 
     # ------------------------------------------------------------------
-    def ingest(self, patch: MapPatch) -> IngestResult:
-        """Apply a pipeline's patch atomically under the conflict policy."""
+    def ingest(self, patch: MapPatch,
+               policy: Optional[ConflictPolicy] = None) -> IngestResult:
+        """Apply a pipeline's patch atomically under the conflict policy.
+
+        ``policy`` overrides the server's default for this one call, so
+        independent ingestion pipelines can run different conflation rules
+        against the same database.
+        """
         if not patch.ops:
             return IngestResult(False, None, 0, "empty patch")
         with self._lock:
-            return self._ingest_locked(patch)
+            result = self._ingest_locked(patch, policy or self.policy)
+            listeners = list(self._listeners)
+        if result.accepted:
+            for fn in listeners:
+                fn(result.version, patch)
+        return result
 
-    def _ingest_locked(self, patch: MapPatch) -> IngestResult:
+    def _ingest_locked(self, patch: MapPatch,
+                       policy: ConflictPolicy) -> IngestResult:
         conflicts = self._conflicts(patch)
         ops = list(patch.ops)
         dropped = 0
         if conflicts:
-            if self.policy is ConflictPolicy.REJECT:
+            if policy is ConflictPolicy.REJECT:
                 return IngestResult(False, None, len(ops),
                                     f"{len(conflicts)} conflicting op(s)")
-            if self.policy is ConflictPolicy.HIGHEST_CONFIDENCE:
+            if policy is ConflictPolicy.HIGHEST_CONFIDENCE:
                 losing = {id(op) for op, prev in conflicts
                           if patch.confidence <= prev.confidence}
                 dropped = len(losing)

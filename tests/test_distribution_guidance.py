@@ -1,5 +1,7 @@
 """Map distribution server + vehicle sync, and turn-by-turn guidance."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -96,6 +98,97 @@ class TestDistributionServer:
             TrafficSign(id=sign.id, position=sign.position,
                         sign_type=SignType.STOP))
         assert server.ingest(late).accepted
+
+
+class TestConcurrentPolicyIngest:
+    """Conflict policies must hold under genuinely concurrent ingest —
+    the situation the streaming ingest pipeline creates."""
+
+    @staticmethod
+    def _run_concurrent(fns):
+        results = [None] * len(fns)
+        barrier = threading.Barrier(len(fns))
+
+        def call(i, fn):
+            barrier.wait()
+            results[i] = fn()
+
+        threads = [threading.Thread(target=call, args=(i, fn))
+                   for i, fn in enumerate(fns)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return results
+
+    def test_reject_policy_single_winner_under_concurrency(self):
+        server = MapDistributionServer(_base_map(),
+                                       policy=ConflictPolicy.REJECT)
+        sign = next(iter(server.db.map.signs()))
+        patches = [MapPatch(source=f"pipeline-{i}",
+                            confidence=0.9).remove(sign.id)
+                   for i in range(8)]
+        results = self._run_concurrent(
+            [lambda p=p: server.ingest(p) for p in patches])
+        accepted = [r for r in results if r.accepted]
+        assert len(accepted) == 1
+        assert sign.id not in server.db.map
+        assert server.version == 1
+        assert all("conflict" in r.reason
+                   for r in results if not r.accepted)
+
+    def test_highest_confidence_concurrent_weak_writers_lose(self):
+        server = MapDistributionServer(
+            _base_map(), policy=ConflictPolicy.HIGHEST_CONFIDENCE)
+        sign = next(iter(server.db.map.signs()))
+        strong = MapPatch(source="survey", confidence=0.95).remove(sign.id)
+        assert server.ingest(strong).accepted
+        weak = [MapPatch(source=f"crowd-{i}", confidence=0.3).add(
+                    TrafficSign(id=sign.id, position=sign.position,
+                                sign_type=SignType.STOP))
+                for i in range(8)]
+        results = self._run_concurrent(
+            [lambda p=p: server.ingest(p) for p in weak])
+        assert not any(r.accepted for r in results)
+        assert sign.id not in server.db.map
+        assert server.version == 1
+
+    def test_highest_confidence_disjoint_elements_all_land(self):
+        server = MapDistributionServer(
+            _base_map(), policy=ConflictPolicy.HIGHEST_CONFIDENCE)
+        # Allocate ids up front: id allocation is not the object under
+        # test, the concurrent ingest path is.
+        patches = [_add_sign_patch(server, f"p{i}", 0.5 + 0.05 * i,
+                                   [10.0 + 5.0 * i, 5.0])
+                   for i in range(8)]
+        results = self._run_concurrent(
+            [lambda p=p: server.ingest(p) for p in patches])
+        assert all(r.accepted for r in results)
+        assert server.version == 8
+        assert sorted(r.version for r in results) == list(range(1, 9))
+
+    def test_per_call_policy_override(self):
+        server = MapDistributionServer(
+            _base_map(), policy=ConflictPolicy.LAST_WRITER_WINS)
+        sign = next(iter(server.db.map.signs()))
+        assert server.ingest(
+            MapPatch(source="a", confidence=0.9).remove(sign.id)).accepted
+        resurrect = MapPatch(source="b", confidence=0.9).add(
+            TrafficSign(id=sign.id, position=sign.position,
+                        sign_type=SignType.STOP))
+        # Stricter per-call policy rejects what the default would accept.
+        assert not server.ingest(resurrect,
+                                 policy=ConflictPolicy.REJECT).accepted
+        assert server.ingest(resurrect).accepted
+
+    def test_listener_notified_on_accepted_ingest_only(self):
+        server = MapDistributionServer(_base_map())
+        events = []
+        server.add_listener(lambda v, p: events.append((v, p.source)))
+        server.ingest(_add_sign_patch(server, "slamcu", 0.9, [10.0, 5.0]))
+        assert events == [(1, "slamcu")]
+        assert not server.ingest(MapPatch()).accepted
+        assert len(events) == 1
 
 
 class TestVehicleSync:

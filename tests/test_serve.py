@@ -131,13 +131,29 @@ class TestMetrics:
             hist.record(0.05)
         assert hist.count == 100
         assert hist.percentile(50) == 0.001
-        assert hist.percentile(99) == 0.1
+        # The p99 falls in the (0.01, 0.1] bucket, but the bucket bound is
+        # clamped to the exact observed maximum.
+        assert hist.percentile(99) == 0.05
         assert hist.as_dict()["count"] == 100
+
+    def test_histogram_tracks_exact_min_max(self):
+        hist = LatencyHistogram(bounds=(0.001, 0.01, 0.1))
+        assert hist.min_s == 0.0 and hist.max_s == 0.0  # empty
+        for v in (0.004, 0.0002, 0.05):
+            hist.record(v)
+        assert hist.min_s == 0.0002
+        assert hist.max_s == 0.05
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["min_s"] == 0.0002
+        assert snap["max_s"] == 0.05
+        assert snap["p99_s"] <= snap["max_s"]
 
     def test_histogram_overflow_bucket(self):
         hist = LatencyHistogram(bounds=(0.001,))
         hist.record(5.0)
-        assert hist.percentile(99) == float("inf")
+        # Overflow percentiles report the observed maximum, never inf.
+        assert hist.percentile(99) == 5.0
 
     def test_tilestore_stats_as_dict_and_threaded_updates(self):
         stats = TileStoreStats()
