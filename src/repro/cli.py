@@ -9,6 +9,7 @@ Usage::
     python -m repro serve-bench city.json --workers 1,4 --vehicles 8
     python -m repro ingest-bench city.json --workers 1,4 --vehicles 4
     python -m repro taxonomy
+    python -m repro perf-bench --out BENCH_PERF.json
 """
 
 from __future__ import annotations
@@ -231,6 +232,43 @@ def _cmd_taxonomy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        HEADLINE_KERNELS,
+        check_baseline,
+        load_report,
+        run_perf_suite,
+        write_report,
+    )
+
+    results, speedups, counters = run_perf_suite(
+        repetitions=args.repetitions, warmup=args.warmup)
+
+    print(f"{'kernel':<28} {'median':>10} {'p95':>10} {'reps':>5}")
+    for result in results:
+        print(f"{result.name:<28} {1e3 * result.median_s:>8.3f}ms "
+              f"{1e3 * result.p95_s:>8.3f}ms {len(result.samples_s):>5}")
+    print()
+    for name, factor in sorted(speedups.items()):
+        print(f"speedup {name:<28} {factor:>6.2f}x")
+
+    report = write_report(args.out, results, speedups=speedups,
+                          counters=counters)
+    print(f"\nwrote {args.out}")
+
+    if args.check_baseline:
+        baseline = load_report(args.check_baseline)
+        failures = check_baseline(report, baseline, HEADLINE_KERNELS,
+                                  max_regression=args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed for {len(HEADLINE_KERNELS)} headline "
+              f"kernels (limit {args.max_regression}x)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -313,6 +351,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     tax = sub.add_parser("taxonomy", help="print Table I with coverage")
     tax.set_defaults(func=_cmd_taxonomy)
+
+    perf = sub.add_parser(
+        "perf-bench",
+        help="run the hot-path kernel microbenchmark suite")
+    perf.add_argument("--repetitions", type=int, default=20)
+    perf.add_argument("--warmup", type=int, default=3)
+    perf.add_argument("--out", default="BENCH_PERF.json",
+                      help="machine-readable report path")
+    perf.add_argument("--check-baseline", metavar="PATH",
+                      help="fail on median regressions vs this report")
+    perf.add_argument("--max-regression", type=float, default=2.5,
+                      help="regression multiplier the baseline check allows")
+    perf.set_defaults(func=_cmd_perf_bench)
     return parser
 
 

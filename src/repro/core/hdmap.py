@@ -61,6 +61,10 @@ class HDMap:
     def __init__(self, name: str = "map", index_cell_size: float = 100.0) -> None:
         self.name = name
         self.version = 0
+        # Bumped on every structural edit (add/remove/replace), including
+        # ones that do not advance ``version``; sensor-side geometry caches
+        # key on it to invalidate when the map changes underneath them.
+        self.mutation_count = 0
         self._elements: Dict[ElementId, MapElement] = {}
         self._regulatory: Dict[ElementId, RegulatoryElement] = {}
         self._by_kind: Dict[str, Dict[ElementId, MapElement]] = {}
@@ -91,6 +95,7 @@ class HDMap:
             self._index.insert(element.id, element.bounds())
         self._by_kind.setdefault(element.id.kind, {})[element.id] = element
         self._ids.reserve(element.id)
+        self.mutation_count += 1
         if element.id.kind in (Kind.LANE, Kind.SEGMENT):
             self._topology_dirty = True
         return element.id
@@ -119,6 +124,7 @@ class HDMap:
         else:
             raise UnknownElementError(element_id)
         self._by_kind.get(element_id.kind, {}).pop(element_id, None)
+        self.mutation_count += 1
         if element_id.kind in (Kind.LANE, Kind.SEGMENT):
             self._topology_dirty = True
         return element
@@ -133,6 +139,7 @@ class HDMap:
         else:
             raise UnknownElementError(element.id)
         self._by_kind.setdefault(element.id.kind, {})[element.id] = element
+        self.mutation_count += 1
         if element.id.kind in (Kind.LANE, Kind.SEGMENT):
             self._topology_dirty = True
 

@@ -103,12 +103,11 @@ class AerialGroundMapper:
         """
         if ground_points.shape[0] < 5:
             return aerial_line
-        residuals = []
-        for p in ground_points:
-            s, d = aerial_line.project(p)
-            if 0.0 < s < aerial_line.length and abs(d) < 6.0:
-                residuals.append(d)
-        if len(residuals) < 5:
+        s_all, d_all = aerial_line.project_batch(ground_points)
+        keep = ((s_all > 0.0) & (s_all < aerial_line.length)
+                & (np.abs(d_all) < 6.0))
+        residuals = d_all[keep]
+        if residuals.size < 5:
             return aerial_line
         shift = float(np.mean(residuals))
         return aerial_line.offset(shift, spacing=self.station_step)
@@ -127,8 +126,8 @@ class AerialGroundMapper:
         ground_points = _ground_centre_observations(truth, trajectory, rng)
         fused = self.fuse_ground(aerial_line, ground_points)
         elapsed = time.perf_counter() - started
-        errors = [abs(reference_truth.project(p)[1])
-                  for p in fused.resample(20.0).points]
+        errors = np.abs(
+            reference_truth.project_batch(fused.resample(20.0).points)[1])
         return AerialMapResult(
             centerline=fused,
             error=error_stats(errors),
@@ -146,7 +145,9 @@ def gps_imu_baseline(reference_truth: Polyline, trajectory: Trajectory,
     """
     gnss = GnssSensor(grade, rate_hz=2.0)
     fixes = gnss.measure(trajectory, rng)
-    errors = [abs(reference_truth.project(f.position)[1]) for f in fixes]
+    positions = (np.asarray([f.position for f in fixes], dtype=float)
+                 if fixes else np.zeros((0, 2)))
+    errors = np.abs(reference_truth.project_batch(positions)[1])
     return error_stats(errors)
 
 

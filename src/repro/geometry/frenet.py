@@ -41,6 +41,15 @@ class FrenetFrame:
         s, d = self._ref.project(point)
         return FrenetPoint(s=s, d=d)
 
+    def to_frenet_batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized conversion of (P, 2) Cartesian points to Frenet.
+
+        Returns a (P, 2) array of ``[s, d]`` rows (batched projection, so
+        identical to per-point :meth:`to_frenet`).
+        """
+        stations, laterals = self._ref.project_batch(points)
+        return np.stack([stations, laterals], axis=1)
+
     def to_cartesian(self, s: float, d: float) -> np.ndarray:
         base = self._ref.point_at(s)
         normal = self._ref.normal_at(s)
@@ -52,10 +61,11 @@ class FrenetFrame:
         laterals = np.asarray(laterals, dtype=float)
         if stations.shape != laterals.shape:
             raise ValueError("stations and laterals must have the same shape")
-        pts = np.empty((stations.size, 2))
-        for i, (s, d) in enumerate(zip(stations.ravel(), laterals.ravel())):
-            pts[i] = self.to_cartesian(float(s), float(d))
-        return pts
+        s_flat = stations.ravel()
+        d_flat = laterals.ravel()
+        # Elementwise twin of to_cartesian() per row: base + d * normal.
+        return (self._ref.points_at(s_flat)
+                + d_flat[:, None] * self._ref.normals_at(s_flat))
 
     def heading_at(self, s: float) -> float:
         return self._ref.heading_at(s)

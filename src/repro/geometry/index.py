@@ -9,12 +9,14 @@ to the local element count.
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict
 from typing import Callable, Dict, Generic, Hashable, Iterable, List, Set, Tuple, TypeVar
 
 import numpy as np
 
 from repro.errors import GeometryError
+from repro.perf.instrument import timed
 
 K = TypeVar("K", bound=Hashable)
 
@@ -35,6 +37,11 @@ class GridIndex(Generic[K]):
         self.cell_size = float(cell_size)
         self._cells: Dict[Tuple[int, int], Set[K]] = defaultdict(set)
         self._bounds: Dict[K, Bounds] = {}
+        # Monotonic insertion ticket per key: queries sort hits by it, which
+        # is process-deterministic (sets iterate in randomized hash order)
+        # without paying a repr() per hit on every query.
+        self._order: Dict[K, int] = {}
+        self._ticket = itertools.count()
 
     def __len__(self) -> int:
         return len(self._bounds)
@@ -61,11 +68,13 @@ class GridIndex(Generic[K]):
         if max_x < min_x or max_y < min_y:
             raise GeometryError(f"invalid bounds {bounds}")
         self._bounds[key] = bounds
+        self._order[key] = next(self._ticket)
         for cell in self._cells_for_bounds(bounds):
             self._cells[cell].add(key)
 
     def remove(self, key: K) -> None:
         bounds = self._bounds.pop(key, None)
+        self._order.pop(key, None)
         if bounds is None:
             return
         for cell in self._cells_for_bounds(bounds):
@@ -76,19 +85,21 @@ class GridIndex(Generic[K]):
                     del self._cells[cell]
 
     def query_point(self, x: float, y: float) -> List[K]:
-        """Keys whose bounds contain the point (deterministic order)."""
+        """Keys whose bounds contain the point (insertion order)."""
         hits = []
         for key in self._cells.get(self._cell_of(x, y), ()):
             min_x, min_y, max_x, max_y = self._bounds[key]
             if min_x <= x <= max_x and min_y <= y <= max_y:
                 hits.append(key)
         # Sets iterate in hash order, which Python randomizes per process;
-        # sorting keeps every downstream computation reproducible.
-        hits.sort(key=repr)
+        # sorting by insertion ticket keeps every downstream computation
+        # reproducible at integer-compare cost instead of a repr() per hit.
+        hits.sort(key=self._order.__getitem__)
         return hits
 
+    @timed("grid.query_box")
     def query_box(self, bounds: Bounds) -> List[K]:
-        """Keys whose bounds intersect the query box (deterministic order)."""
+        """Keys whose bounds intersect the query box (insertion order)."""
         qx0, qy0, qx1, qy1 = bounds
         seen: Set[K] = set()
         hits: List[K] = []
@@ -100,7 +111,7 @@ class GridIndex(Generic[K]):
                 bx0, by0, bx1, by1 = self._bounds[key]
                 if bx0 <= qx1 and bx1 >= qx0 and by0 <= qy1 and by1 >= qy0:
                     hits.append(key)
-        hits.sort(key=repr)
+        hits.sort(key=self._order.__getitem__)
         return hits
 
     def query_radius(self, x: float, y: float, radius: float) -> List[K]:
@@ -113,28 +124,37 @@ class GridIndex(Generic[K]):
                 max_radius: float = 1e4) -> Tuple[K, float]:
         """Nearest key by a caller-supplied exact distance function.
 
-        Expands the search ring until a hit is found, then verifies one more
-        ring to guarantee correctness.
+        Expands the search ring until a hit is found, then runs exactly one
+        verification query whose ring covers every candidate that could
+        still beat the hit (clamped to ``max_radius``) — no further
+        doublings once something has been found.
         """
         if not self._bounds:
             raise GeometryError("nearest() on an empty index")
         radius = self.cell_size
         best_key = None
         best_dist = float("inf")
-        while radius <= max_radius * 2:
+        while radius <= max_radius:
             for key in self.query_radius(x, y, radius):
                 d = distance_fn(key)
                 if d < best_dist:
                     best_key, best_dist = key, d
-            if best_key is not None and best_dist <= radius:
+            if best_key is not None:
+                if best_dist <= radius:
+                    return best_key, best_dist
+                # Any key closer than best_dist has bounds intersecting the
+                # best_dist circle; one clamped ring verifies the hit.
+                for key in self.query_radius(x, y, min(best_dist, max_radius)):
+                    d = distance_fn(key)
+                    if d < best_dist:
+                        best_key, best_dist = key, d
                 return best_key, best_dist
             radius *= 2.0
-        if best_key is None:
-            # Fall back to a full scan; max_radius was too small.
-            for key in self._bounds:
-                d = distance_fn(key)
-                if d < best_dist:
-                    best_key, best_dist = key, d
+        # Fall back to a full scan; max_radius was too small.
+        for key in self._bounds:
+            d = distance_fn(key)
+            if d < best_dist:
+                best_key, best_dist = key, d
         return best_key, best_dist
 
     def keys(self) -> Iterable[K]:

@@ -18,6 +18,11 @@ import numpy as np
 from repro.errors import GeometryError
 from repro.geometry.vec import perp_left, segment_point_distance
 
+#: Cap on the (points x segments) temporary a single batched-projection
+#: chunk may allocate. 2M pairs of float64 triples keeps peak memory for
+#: one chunk under ~100 MB regardless of polyline size.
+PROJECT_BATCH_MAX_PAIRS = 2_000_000
+
 
 class Polyline:
     """An ordered sequence of 2-D vertices with arc-length parameterization.
@@ -122,6 +127,22 @@ class Polyline:
         b = self._pts[idx + 1]
         return a + t[:, None] * (b - a)
 
+    def headings_at(self, stations: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`heading_at` for an array of stations."""
+        s = np.clip(np.asarray(stations, dtype=float), 0.0, self.length)
+        idx = np.clip(
+            np.searchsorted(self._cum_len, s, side="right") - 1,
+            0,
+            len(self._seg_len) - 1,
+        )
+        d = self._pts[idx + 1] - self._pts[idx]
+        return np.arctan2(d[:, 1], d[:, 0])
+
+    def normals_at(self, stations: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`normal_at`: ``(N, 2)`` left-hand unit normals."""
+        h = self.headings_at(stations)
+        return np.stack([-np.sin(h), np.cos(h)], axis=1)
+
     def heading_at(self, s: float) -> float:
         """Tangent heading (radians) at station ``s``."""
         s = float(np.clip(s, 0.0, self.length))
@@ -173,6 +194,61 @@ class Polyline:
         signed = float(seg_dir[0] * offset_vec[1] - seg_dir[1] * offset_vec[0])
         return station, signed
 
+    def project_batch(self, points: Iterable[Sequence[float]],
+                      max_pairs: int = PROJECT_BATCH_MAX_PAIRS
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`project` for many points at once.
+
+        Returns ``(stations, laterals)`` arrays of shape ``(P,)``. Each row
+        is bit-identical to the scalar ``project`` result for the same
+        point: the per-segment dot products, clipping, argmin tie-breaking,
+        and sign computation all use the same operations in the same order.
+
+        The computation covers all ``(P, S)`` point/segment pairs at once,
+        with x/y components kept as separate 2-D arrays (cheaper than
+        ``(P, S, 2)`` temporaries) and chunked over points so no temporary
+        exceeds ``max_pairs`` pairs — projection onto country-scale
+        boundary lines stays within a bounded memory footprint.
+        """
+        pts = np.asarray(points if isinstance(points, np.ndarray) else list(points),
+                         dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise GeometryError(f"project_batch needs (P, 2) points, got {pts.shape}")
+        n_pts = pts.shape[0]
+        stations = np.empty(n_pts)
+        laterals = np.empty(n_pts)
+        if n_pts == 0:
+            return stations, laterals
+        a = self._pts[:-1]
+        d = self._pts[1:] - a
+        denom = np.maximum(np.einsum("ij,ij->i", d, d), 1e-300)
+        seg_dir = d / np.maximum(self._seg_len, 1e-300)[:, None]
+        ax, ay = a[:, 0], a[:, 1]
+        dx, dy = d[:, 0], d[:, 1]
+        chunk = max(1, min(n_pts, max_pairs // max(a.shape[0], 1)))
+        for lo in range(0, n_pts, chunk):
+            p = pts[lo:lo + chunk]
+            px = p[:, 0, None]
+            py = p[:, 1, None]
+            relx = px - ax[None, :]
+            rely = py - ay[None, :]
+            t = np.clip((relx * dx[None, :] + rely * dy[None, :])
+                        / denom[None, :], 0.0, 1.0)
+            cx = ax[None, :] + t * dx[None, :]
+            cy = ay[None, :] + t * dy[None, :]
+            fx = px - cx
+            fy = py - cy
+            dist2 = fx * fx + fy * fy
+            i = np.argmin(dist2, axis=1)
+            rows = np.arange(p.shape[0])
+            ti = t[rows, i]
+            stations[lo:lo + chunk] = self._cum_len[i] + ti * self._seg_len[i]
+            ox = p[:, 0] - cx[rows, i]
+            oy = p[:, 1] - cy[rows, i]
+            sd = seg_dir[i]
+            laterals[lo:lo + chunk] = sd[:, 0] * oy - sd[:, 1] * ox
+        return stations, laterals
+
     def distance_to(self, point: Sequence[float]) -> float:
         """Unsigned Euclidean distance from ``point`` to the polyline."""
         p = np.asarray(point, dtype=float)
@@ -210,9 +286,7 @@ class Polyline:
         """
         base = self if spacing is None else self.resample(spacing)
         stations = base._cum_len if spacing is None else np.linspace(0.0, base.length, len(base))
-        shifted = np.array(
-            [base.point_at(s) + distance * base.normal_at(s) for s in stations]
-        )
+        shifted = base.points_at(stations) + distance * base.normals_at(stations)
         return Polyline(shifted)
 
     def reversed(self) -> "Polyline":
@@ -252,16 +326,14 @@ class Polyline:
         """Symmetric discrete Hausdorff distance between two polylines."""
         a = self.resample(spacing)
         b = other.resample(spacing)
-        d_ab = max(abs(b.project(p)[1]) for p in a.points)
-        d_ba = max(abs(a.project(p)[1]) for p in b.points)
+        d_ab = float(np.abs(b.project_batch(a.points)[1]).max())
+        d_ba = float(np.abs(a.project_batch(b.points)[1]).max())
         return max(d_ab, d_ba)
 
     def mean_distance_to_polyline(self, other: "Polyline", spacing: float = 1.0) -> float:
         """Mean absolute lateral deviation of this polyline from ``other``."""
         sampled = self.resample(spacing)
-        return float(
-            np.mean([abs(other.project(p)[1]) for p in sampled.points])
-        )
+        return float(np.mean(np.abs(other.project_batch(sampled.points)[1])))
 
 
 def _douglas_peucker_mask(pts: np.ndarray, tol: float) -> np.ndarray:

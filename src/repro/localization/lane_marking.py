@@ -182,25 +182,26 @@ class LaneMarkingLocalizer:
         boundaries = self._nearby_boundaries()
 
         def weight(states: np.ndarray) -> np.ndarray:
-            log_w = np.zeros(states.shape[0])
-            for i in range(states.shape[0]):
-                x, y, theta = states[i]
-                best_total = 0.0
-                for m, cls in measurements:
-                    best = np.inf
-                    for a_pts, b_pts in boundaries.get(cls, ()):
-                        d = _signed_lateral(a_pts, b_pts, x, y, theta)
-                        if d is None:
-                            continue
-                        err = abs(d - m)
-                        if err < best:
-                            best = err
-                    if np.isfinite(best):
-                        scale = 2.0 if cls == "edge" else 1.0
-                        best_total += scale * (
-                            min(best, 3.0 * self.sigma_offset)
-                            / self.sigma_offset)**2
-                log_w[i] = -0.5 * best_total
+            n = states.shape[0]
+            # A boundary group's signed lateral per particle does not depend
+            # on the measurement, so compute it once per (class, group) over
+            # the whole cloud instead of once per particle per measurement.
+            laterals = {
+                cls: [_batch_signed_laterals(states, a_pts, b_pts)
+                      for a_pts, b_pts in boundaries.get(cls, ())]
+                for cls in ("paint", "edge")
+            }
+            total = np.zeros(n)
+            for m, cls in measurements:
+                best = np.full(n, np.inf)
+                for lat, valid in laterals[cls]:
+                    err = np.where(valid, np.abs(lat - m), np.inf)
+                    np.minimum(best, err, out=best)
+                scale = 2.0 if cls == "edge" else 1.0
+                term = scale * (np.minimum(best, 3.0 * self.sigma_offset)
+                                / self.sigma_offset)**2
+                total += np.where(np.isfinite(best), term, 0.0)
+            log_w = -0.5 * total
             log_w -= log_w.max()
             return np.exp(log_w)
 
@@ -268,3 +269,30 @@ def _signed_lateral(a: np.ndarray, b: np.ndarray, x: float, y: float,
     rel = closest[i] - p
     # Body frame: lateral = -sin(theta)*dx + cos(theta)*dy.
     return float(-math.sin(theta) * rel[0] + math.cos(theta) * rel[1])
+
+
+def _batch_signed_laterals(states: np.ndarray, a: np.ndarray,
+                           b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`_signed_lateral` over a whole particle cloud.
+
+    Returns ``(lateral, valid)`` arrays of shape (N,); ``valid`` is False
+    where the scalar function would have returned None (closest point
+    farther than 20 m). Every operation is the elementwise twin of the
+    scalar version in the same order, so results are bit-identical.
+    """
+    p = states[:, :2]  # (N, 2)
+    theta = states[:, 2]
+    d = b - a  # (S, 2)
+    denom = np.einsum("ij,ij->i", d, d)
+    rel = p[:, None, :] - a[None, :, :]  # (N, S, 2)
+    t = np.clip(np.einsum("nsj,sj->ns", rel, d)
+                / np.maximum(denom, 1e-300)[None, :], 0.0, 1.0)
+    closest = a[None, :, :] + t[..., None] * d[None, :, :]
+    diff = p[:, None, :] - closest
+    dist2 = np.einsum("nsj,nsj->ns", diff, diff)
+    i = np.argmin(dist2, axis=1)
+    rows = np.arange(states.shape[0])
+    valid = dist2[rows, i] <= 20.0**2
+    rel_c = closest[rows, i] - p
+    lateral = -np.sin(theta) * rel_c[:, 0] + np.cos(theta) * rel_c[:, 1]
+    return lateral, valid

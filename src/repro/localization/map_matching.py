@@ -107,6 +107,20 @@ def match_line_segments(
     Returns the correction ``SE2`` to *compose onto* the pose estimate, or
     None if fewer than 2 segments matched.
     """
+    if not reference:
+        return None
+    # Stack the reference segments once; each observed segment is then
+    # associated in one vectorized pass instead of an inner Python loop.
+    # All per-segment arithmetic is elementwise in the same operation order
+    # as the scalar loop it replaced, so the selected pairs are identical.
+    a_ref = np.asarray([np.asarray(a) for a, _ in reference], dtype=float)
+    b_ref = np.asarray([np.asarray(b) for _, b in reference], dtype=float)
+    d_ref = b_ref - a_ref  # (R, 2)
+    len_ref = np.hypot(d_ref[:, 0], d_ref[:, 1])
+    ok_len = len_ref >= 1e-6
+    dir_ref = d_ref / np.maximum(len_ref, 1e-300)[:, None]
+    cos_thresh = np.cos(max_angle)
+
     pairs = []
     for a_obs, b_obs in observed:
         mid_obs = (np.asarray(a_obs) + np.asarray(b_obs)) / 2.0
@@ -115,28 +129,24 @@ def match_line_segments(
         if len_obs < 1e-6:
             continue
         dir_obs = dir_obs / len_obs
-        best = None
-        best_d = max_distance
-        for a_ref, b_ref in reference:
-            dir_ref = np.asarray(b_ref) - np.asarray(a_ref)
-            len_ref = float(np.hypot(*dir_ref))
-            if len_ref < 1e-6:
-                continue
-            dir_ref = dir_ref / len_ref
-            cos_angle = abs(float(dir_obs @ dir_ref))
-            if cos_angle < np.cos(max_angle):
-                continue
-            # Point-to-line distance of observed midpoint.
-            rel = mid_obs - np.asarray(a_ref)
-            d = abs(float(dir_ref[0] * rel[1] - dir_ref[1] * rel[0]))
-            along = float(rel @ dir_ref)
-            if d < best_d and -2.0 <= along <= len_ref + 2.0:
-                best_d = d
-                normal = np.array([-dir_ref[1], dir_ref[0]])
-                signed = float(rel @ normal)
-                best = (mid_obs, normal, signed)
-        if best is not None:
-            pairs.append(best)
+        cos_angle = np.abs(dir_obs[0] * dir_ref[:, 0]
+                           + dir_obs[1] * dir_ref[:, 1])
+        rel = mid_obs[None, :] - a_ref  # (R, 2)
+        # Point-to-line distance of observed midpoint.
+        d = np.abs(dir_ref[:, 0] * rel[:, 1] - dir_ref[:, 1] * rel[:, 0])
+        along = rel[:, 0] * dir_ref[:, 0] + rel[:, 1] * dir_ref[:, 1]
+        candidate = (ok_len & (cos_angle >= cos_thresh) & (d < max_distance)
+                     & (along >= -2.0) & (along <= len_ref + 2.0))
+        if not candidate.any():
+            continue
+        # The scalar loop kept the first strict improvement, i.e. the
+        # earliest index attaining the minimum d — exactly np.argmin on the
+        # masked distances.
+        masked = np.where(candidate, d, np.inf)
+        i = int(np.argmin(masked))
+        normal = np.array([-dir_ref[i, 1], dir_ref[i, 0]])
+        signed = float(rel[i] @ normal)
+        pairs.append((mid_obs, normal, signed))
     if len(pairs) < 2:
         return None
 

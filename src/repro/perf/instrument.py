@@ -1,0 +1,162 @@
+"""Lightweight hot-path instrumentation: per-kernel call/ns counters.
+
+The serving and simulation hot paths (grid queries, batched projections,
+LiDAR scans, tile encodes) are instrumented with :func:`timed` so a perf
+run can attribute wall time to named kernels without a sampling profiler.
+Design constraints, in order:
+
+1. **Near-zero cost when disabled.** Instrumentation ships enabled in no
+   code path; a disabled timer is one attribute check per call. The
+   benchmark runner (and anything else that wants counters) flips
+   ``REGISTRY.enabled`` for the duration of a measurement.
+2. **Thread-local accumulation.** Serving workers time kernels
+   concurrently; each thread owns its counter dict, so recording never
+   takes a lock. ``snapshot()`` merges all threads' counters.
+3. **Nestable.** ``timed`` works as a decorator and as a (re-entrant)
+   context manager; recursive or nested uses each accumulate under their
+   own name with per-thread start stacks.
+
+This module is intentionally stdlib-only: geometry/sensor kernels import
+it, so it must never import back into ``repro``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from functools import wraps
+from typing import Callable, Dict, List, Optional
+
+
+class _Timed:
+    """Timer for one kernel name; decorator and context manager in one.
+
+    Context-manager entries push start timestamps onto a per-thread stack,
+    so nested/recursive ``with`` blocks of the same timer accumulate
+    correctly.
+    """
+
+    __slots__ = ("_registry", "name", "_starts")
+
+    def __init__(self, registry: "PerfRegistry", name: str) -> None:
+        self._registry = registry
+        self.name = name
+        self._starts = threading.local()
+
+    def __enter__(self) -> "_Timed":
+        if self._registry.enabled:
+            stack = getattr(self._starts, "stack", None)
+            if stack is None:
+                stack = self._starts.stack = []
+            stack.append(time.perf_counter_ns())
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._registry.enabled:
+            stack = getattr(self._starts, "stack", None)
+            if stack:  # guard: registry enabled mid-flight
+                self._registry.record(self.name,
+                                      time.perf_counter_ns() - stack.pop())
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        registry = self._registry
+        name = self.name
+
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not registry.enabled:
+                return fn(*args, **kwargs)
+            start = time.perf_counter_ns()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                registry.record(name, time.perf_counter_ns() - start)
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+
+class PerfRegistry:
+    """Per-kernel ``calls``/``total_ns`` counters, merged across threads."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._thread_counters: List[Dict[str, List[int]]] = []
+        self._local = threading.local()
+
+    # -- recording ------------------------------------------------------
+    def _counters(self) -> Dict[str, List[int]]:
+        counters = getattr(self._local, "counters", None)
+        if counters is None:
+            counters = {}
+            self._local.counters = counters
+            with self._lock:
+                self._thread_counters.append(counters)
+        return counters
+
+    def record(self, name: str, elapsed_ns: int, calls: int = 1) -> None:
+        """Accumulate ``calls`` invocations totalling ``elapsed_ns``."""
+        counters = self._counters()
+        entry = counters.get(name)
+        if entry is None:
+            entry = counters[name] = [0, 0]
+        entry[0] += calls
+        entry[1] += elapsed_ns
+
+    def timed(self, name: str) -> _Timed:
+        """A decorator / re-entrant context manager timing ``name``."""
+        return _Timed(self, name)
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero all counters (every thread's)."""
+        with self._lock:
+            thread_counters = list(self._thread_counters)
+        for counters in thread_counters:
+            counters.clear()
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Merged point-in-time view: name -> calls/total_ns/mean_ns.
+
+        Counter updates are two int adds under the GIL; a snapshot taken
+        while other threads record may lag by one in-flight update, which
+        is fine for performance telemetry.
+        """
+        with self._lock:
+            thread_counters = list(self._thread_counters)
+        merged: Dict[str, List[int]] = {}
+        for counters in thread_counters:
+            for name, entry in list(counters.items()):
+                calls, total_ns = entry[0], entry[1]
+                acc = merged.get(name)
+                if acc is None:
+                    merged[name] = [calls, total_ns]
+                else:
+                    acc[0] += calls
+                    acc[1] += total_ns
+        return {
+            name: {
+                "calls": calls,
+                "total_ns": total_ns,
+                "mean_ns": total_ns / calls if calls else 0.0,
+            }
+            for name, (calls, total_ns) in sorted(merged.items())
+        }
+
+
+#: Process-wide default registry; kernel call sites attach to this one.
+REGISTRY = PerfRegistry()
+
+
+def timed(name: str, registry: Optional[PerfRegistry] = None) -> _Timed:
+    """Module-level convenience: time ``name`` against ``REGISTRY``."""
+    return (registry if registry is not None else REGISTRY).timed(name)

@@ -1,0 +1,300 @@
+"""Frozen pre-optimization kernels, kept verbatim for equivalence + speedup.
+
+Every function here is the hot-path implementation as it existed *before*
+the vectorization pass, preserved so that:
+
+- the equivalence tests can assert the optimized kernels produce
+  bit-identical outputs on the same rng stream, and
+- the benchmark suite can report honest speedups against the real
+  predecessor rather than a strawman.
+
+Nothing in the production path imports this module.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.elements import BoundaryType, LaneBoundary
+from repro.core.hdmap import HDMap
+from repro.geometry.polyline import Polyline
+from repro.geometry.transform import SE2
+from repro.sensors.lidar import (
+    ASPHALT_INTENSITY,
+    CURB_HALF_WIDTH,
+    OFFROAD_INTENSITY,
+    PAINT_HALF_WIDTH,
+    GroundReturns,
+    LidarScan,
+    LidarScanner,
+)
+
+
+# ----------------------------------------------------------------------
+# Polyline projection: the scalar per-point loop every consumer ran.
+# ----------------------------------------------------------------------
+def project_scalar(polyline: Polyline,
+                   points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-point ``Polyline.project`` loop — what ``project_batch`` replaced."""
+    pts = np.asarray(points, dtype=float)
+    stations = np.empty(pts.shape[0])
+    laterals = np.empty(pts.shape[0])
+    for i, p in enumerate(pts):
+        s, d = polyline.project(p)
+        stations[i] = s
+        laterals[i] = d
+    return stations, laterals
+
+
+# ----------------------------------------------------------------------
+# Point-to-segments distance: the unchunked (P, S) matrix version.
+# ----------------------------------------------------------------------
+def points_to_segments_min_distance_reference(points: np.ndarray,
+                                              a: np.ndarray,
+                                              b: np.ndarray) -> np.ndarray:
+    d = b - a  # (S, 2)
+    denom = np.einsum("ij,ij->i", d, d)  # (S,)
+    rel = points[:, None, :] - a[None, :, :]  # (P, S, 2)
+    t = np.einsum("psj,sj->ps", rel, d) / np.maximum(denom[None, :], 1e-300)
+    t = np.clip(t, 0.0, 1.0)
+    closest = a[None, :, :] + t[..., None] * d[None, :, :]
+    diff = points[:, None, :] - closest
+    dist2 = np.einsum("psj,psj->ps", diff, diff)
+    return np.sqrt(dist2.min(axis=1))
+
+
+# ----------------------------------------------------------------------
+# LiDAR ground channel: per-scan crop + per-ring segment loops.
+# ----------------------------------------------------------------------
+def scan_ground_reference(scanner: LidarScanner, hdmap: HDMap, pose: SE2,
+                          rng: np.random.Generator) -> GroundReturns:
+    """The original ``LidarScanner._scan_ground``: re-crops map geometry on
+    every call and runs the paint/lane distance loops per ring."""
+    azimuths = np.linspace(-np.pi, np.pi, scanner.n_azimuth, endpoint=False)
+    max_r = max(scanner.ground_ring_radii) + 2.0
+    cx, cy = pose.x, pose.y
+
+    centre = np.array([cx, cy])
+    crop_r = max_r + 5.0
+
+    def _crop(pts: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        a, b = pts[:-1], pts[1:]
+        seg_mid = (a + b) / 2.0
+        reach = np.hypot(*(b - a).T) / 2.0 + crop_r
+        near = np.hypot(*(seg_mid - centre).T) <= reach
+        if not near.any():
+            return None
+        return a[near], b[near]
+
+    nearby = hdmap.elements_in_radius(cx, cy, crop_r)
+    paint_segments: List[Tuple[np.ndarray, np.ndarray, float, float]] = []
+    lane_lines: List[Tuple[np.ndarray, np.ndarray]] = []
+    for element in nearby:
+        if isinstance(element, LaneBoundary):
+            half = (CURB_HALF_WIDTH
+                    if element.boundary_type in (BoundaryType.CURB,
+                                                 BoundaryType.ROAD_EDGE)
+                    else PAINT_HALF_WIDTH)
+            cropped = _crop(element.line.points)
+            if cropped is not None:
+                paint_segments.append((cropped[0], cropped[1],
+                                       element.reflectivity, half))
+        elif element.id.kind == "lane":
+            cropped = _crop(element.centerline.points)
+            if cropped is not None:
+                lane_lines.append(cropped)
+
+    all_points = []
+    all_intensity = []
+    all_ring = []
+    for ring_idx, radius in enumerate(scanner.ground_ring_radii):
+        keep = rng.uniform(size=azimuths.size) >= scanner.dropout
+        az = azimuths[keep]
+        r = radius + rng.normal(0.0, scanner.range_sigma * 2.0, size=az.size)
+        local = np.stack([r * np.cos(az), r * np.sin(az)], axis=1)
+        world = pose.apply(local)
+
+        best_refl = np.full(world.shape[0], -1.0)
+        for a, b, refl, half in paint_segments:
+            d = points_to_segments_min_distance_reference(world, a, b)
+            hit = d <= half
+            best_refl = np.where(hit & (refl > best_refl), refl, best_refl)
+
+        on_road = np.zeros(world.shape[0], dtype=bool)
+        for a, b in lane_lines:
+            d = points_to_segments_min_distance_reference(world, a, b)
+            on_road |= d <= 2.2
+
+        intensity = np.where(
+            best_refl >= 0.0, best_refl,
+            np.where(on_road, ASPHALT_INTENSITY, OFFROAD_INTENSITY),
+        )
+        intensity = np.clip(
+            intensity + rng.normal(0.0, scanner.intensity_sigma,
+                                   size=intensity.size), 0.0, 1.0)
+        all_points.append(local)
+        all_intensity.append(intensity)
+        all_ring.append(np.full(local.shape[0], ring_idx, dtype=int))
+
+    return GroundReturns(
+        points=np.concatenate(all_points, axis=0),
+        intensity=np.concatenate(all_intensity, axis=0),
+        ring=np.concatenate(all_ring, axis=0),
+    )
+
+
+def scan_reference(scanner: LidarScanner, hdmap: HDMap, pose: SE2,
+                   rng: np.random.Generator, t: float = 0.0,
+                   obstacles=None) -> LidarScan:
+    """Full pre-optimization scan: frozen ground channel + the (unchanged)
+    object channel, consuming the rng stream in the original order."""
+    ground = scan_ground_reference(scanner, hdmap, pose, rng)
+    objects = scanner._scan_objects(hdmap, pose, rng, obstacles or ())
+    return LidarScan(t=t, ground=ground, objects=objects,
+                     max_range=scanner.max_range)
+
+
+# ----------------------------------------------------------------------
+# Particle weighting: the per-particle / per-measurement scalar loop.
+# ----------------------------------------------------------------------
+def _signed_lateral_reference(a: np.ndarray, b: np.ndarray, x: float,
+                              y: float, theta: float) -> Optional[float]:
+    p = np.array([x, y])
+    d = b - a
+    denom = np.einsum("ij,ij->i", d, d)
+    t = np.clip(np.einsum("ij,ij->i", p - a, d)
+                / np.maximum(denom, 1e-300), 0.0, 1.0)
+    closest = a + t[:, None] * d
+    dist2 = np.einsum("ij,ij->i", p - closest, p - closest)
+    i = int(np.argmin(dist2))
+    if dist2[i] > 20.0**2:
+        return None
+    rel = closest[i] - p
+    return float(-math.sin(theta) * rel[0] + math.cos(theta) * rel[1])
+
+
+def particle_weights_reference(states: np.ndarray,
+                               measurements: Sequence[Tuple[float, str]],
+                               boundaries, sigma_offset: float) -> np.ndarray:
+    """The original ``LaneMarkingLocalizer.update_markings`` weight closure."""
+    log_w = np.zeros(states.shape[0])
+    for i in range(states.shape[0]):
+        x, y, theta = states[i]
+        best_total = 0.0
+        for m, cls in measurements:
+            best = np.inf
+            for a_pts, b_pts in boundaries.get(cls, ()):
+                d = _signed_lateral_reference(a_pts, b_pts, x, y, theta)
+                if d is None:
+                    continue
+                err = abs(d - m)
+                if err < best:
+                    best = err
+            if np.isfinite(best):
+                scale = 2.0 if cls == "edge" else 1.0
+                best_total += scale * (min(best, 3.0 * sigma_offset)
+                                       / sigma_offset)**2
+        log_w[i] = -0.5 * best_total
+    log_w -= log_w.max()
+    return np.exp(log_w)
+
+
+# ----------------------------------------------------------------------
+# Grid index ordering: the repr()-sorted query the ticket sort replaced.
+# ----------------------------------------------------------------------
+def query_box_repr_sorted(index, bounds) -> list:
+    """The original ``GridIndex.query_box``: determinism via sort(key=repr)."""
+    qx0, qy0, qx1, qy1 = bounds
+    seen = set()
+    hits = []
+    for cell in index._cells_for_bounds(bounds):
+        for key in index._cells.get(cell, ()):
+            if key in seen:
+                continue
+            seen.add(key)
+            bx0, by0, bx1, by1 = index._bounds[key]
+            if bx0 <= qx1 and bx1 >= qx0 and by0 <= qy1 and by1 >= qy0:
+                hits.append(key)
+    hits.sort(key=repr)
+    return hits
+
+
+# ----------------------------------------------------------------------
+# Geometric layout Monte-Carlo: sequential per-trial solves.
+# ----------------------------------------------------------------------
+def simulate_layout_error_reference(layout, range_sigma: float,
+                                    rng: np.random.Generator,
+                                    trials: int = 200) -> float:
+    """The original ``simulate_layout_error``: one lstsq solve per trial."""
+    from repro.localization.geometric import solve_position
+
+    true_ranges = np.hypot(layout.positions[:, 0], layout.positions[:, 1])
+    errors = np.empty(trials)
+    for k in range(trials):
+        measured = true_ranges + rng.normal(0.0, range_sigma,
+                                            size=true_ranges.size)
+        estimate = solve_position(layout, measured)
+        errors[k] = float(np.hypot(*estimate))
+    return float(np.sqrt(np.mean(errors**2)))
+
+
+# ----------------------------------------------------------------------
+# Line-segment matching: the nested observed x reference Python loop.
+# ----------------------------------------------------------------------
+def match_line_segments_reference(observed, reference, max_distance=2.0,
+                                  max_angle=0.35):
+    """The original ``match_line_segments`` association + solve."""
+    pairs = []
+    for a_obs, b_obs in observed:
+        mid_obs = (np.asarray(a_obs) + np.asarray(b_obs)) / 2.0
+        dir_obs = np.asarray(b_obs) - np.asarray(a_obs)
+        len_obs = float(np.hypot(*dir_obs))
+        if len_obs < 1e-6:
+            continue
+        dir_obs = dir_obs / len_obs
+        best = None
+        best_d = max_distance
+        for a_ref, b_ref in reference:
+            dir_ref = np.asarray(b_ref) - np.asarray(a_ref)
+            len_ref = float(np.hypot(*dir_ref))
+            if len_ref < 1e-6:
+                continue
+            dir_ref = dir_ref / len_ref
+            cos_angle = abs(float(dir_obs @ dir_ref))
+            if cos_angle < np.cos(max_angle):
+                continue
+            rel = mid_obs - np.asarray(a_ref)
+            d = abs(float(dir_ref[0] * rel[1] - dir_ref[1] * rel[0]))
+            along = float(rel @ dir_ref)
+            if d < best_d and -2.0 <= along <= len_ref + 2.0:
+                best_d = d
+                normal = np.array([-dir_ref[1], dir_ref[0]])
+                signed = float(rel @ normal)
+                best = (mid_obs, normal, signed)
+        if best is not None:
+            pairs.append(best)
+    if len(pairs) < 2:
+        return None
+
+    centroid = np.mean([mid for mid, _, _ in pairs], axis=0)
+    A = []
+    b = []
+    for mid, normal, signed in pairs:
+        rel = mid - centroid
+        jp = np.array([-rel[1], rel[0]])
+        A.append([normal[0], normal[1], float(normal @ jp)])
+        b.append(-signed)
+    A = np.asarray(A)
+    b = np.asarray(b)
+    reg = np.diag([1e-9, 1e-9, 1e-6])
+    sol = np.linalg.solve(A.T @ A + reg, A.T @ b)
+    dx, dy, dtheta = float(sol[0]), float(sol[1]), float(sol[2])
+    c_rot = np.array([
+        np.cos(dtheta) * centroid[0] - np.sin(dtheta) * centroid[1],
+        np.sin(dtheta) * centroid[0] + np.cos(dtheta) * centroid[1],
+    ])
+    shift = np.array([dx, dy]) + centroid - c_rot
+    return SE2(float(shift[0]), float(shift[1]), dtheta)

@@ -1,0 +1,146 @@
+"""Microbenchmark runner: warmup, repetition, median/p95, baseline gating.
+
+The runner measures named kernels (callables) and emits a machine-readable
+``BENCH_PERF.json``::
+
+    {
+      "schema": "repro.perf/1",
+      "kernels": {"<name>": {"median_s": ..., "p95_s": ..., ...}, ...},
+      "speedups": {"<name>": <reference_median / optimized_median>, ...},
+      "counters": {"<kernel>": {"calls": ..., "total_ns": ...}, ...}
+    }
+
+``check_baseline`` compares a fresh report against a checked-in baseline
+and fails on median regressions beyond a multiplier — the CI perf gate.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+SCHEMA = "repro.perf/1"
+
+
+@dataclass
+class BenchResult:
+    """Timing summary for one named kernel."""
+
+    name: str
+    samples_s: List[float] = field(default_factory=list)
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.samples_s) if self.samples_s else 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return statistics.fmean(self.samples_s) if self.samples_s else 0.0
+
+    @property
+    def min_s(self) -> float:
+        return min(self.samples_s) if self.samples_s else 0.0
+
+    @property
+    def max_s(self) -> float:
+        return max(self.samples_s) if self.samples_s else 0.0
+
+    @property
+    def p95_s(self) -> float:
+        """95th percentile by linear interpolation over sorted samples."""
+        if not self.samples_s:
+            return 0.0
+        ordered = sorted(self.samples_s)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = 0.95 * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] + frac * (ordered[hi] - ordered[lo])
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "median_s": self.median_s,
+            "p95_s": self.p95_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "reps": len(self.samples_s),
+        }
+
+
+def run_bench(name: str, fn: Callable[[], object], repetitions: int = 20,
+              warmup: int = 3) -> BenchResult:
+    """Time ``fn`` ``repetitions`` times after ``warmup`` discarded calls."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    for _ in range(warmup):
+        fn()
+    result = BenchResult(name)
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        result.samples_s.append(time.perf_counter() - start)
+    return result
+
+
+def write_report(path: str, results: Sequence[BenchResult],
+                 speedups: Optional[Dict[str, float]] = None,
+                 counters: Optional[Dict[str, Dict[str, float]]] = None
+                 ) -> Dict[str, object]:
+    """Serialize results (plus optional speedups/counters) to ``path``."""
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "kernels": {r.name: r.as_dict() for r in results},
+    }
+    if speedups is not None:
+        report["speedups"] = {k: float(v) for k, v in speedups.items()}
+    if counters is not None:
+        report["counters"] = counters
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return report
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if report.get("schema") != SCHEMA:
+        raise ValueError(f"unexpected perf report schema in {path!r}: "
+                         f"{report.get('schema')!r}")
+    return report
+
+
+def check_baseline(report: Dict[str, object], baseline: Dict[str, object],
+                   kernels: Sequence[str],
+                   max_regression: float = 2.5) -> List[str]:
+    """Median-regression check for the named kernels.
+
+    Returns a list of human-readable failures (empty = gate passes). A
+    kernel missing from the fresh report fails; one missing from the
+    baseline is skipped (new kernels gate once the baseline is refreshed).
+    """
+    failures: List[str] = []
+    fresh = report.get("kernels", {})
+    base = baseline.get("kernels", {})
+    for name in kernels:
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh report")
+            continue
+        if name not in base:
+            continue
+        fresh_median = float(fresh[name]["median_s"])
+        base_median = float(base[name]["median_s"])
+        if base_median <= 0.0:
+            continue
+        ratio = fresh_median / base_median
+        if ratio > max_regression:
+            failures.append(
+                f"{name}: median {fresh_median:.6f}s is {ratio:.2f}x the "
+                f"baseline {base_median:.6f}s (limit {max_regression}x)")
+    return failures

@@ -14,6 +14,7 @@ Two return channels reproduce what the surveyed LiDAR pipelines consume:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -22,12 +23,17 @@ import numpy as np
 from repro.core.elements import BoundaryType, LaneBoundary, PointLandmark
 from repro.core.hdmap import HDMap
 from repro.geometry.transform import SE2
+from repro.perf.instrument import timed
 
 ASPHALT_INTENSITY = 0.18
 OFFROAD_INTENSITY = 0.08
 PAINT_HALF_WIDTH = 0.15  # painted line half width, metres
 CURB_HALF_WIDTH = 0.25
 LANDMARK_RADIUS = 0.25  # landmark cylinder radius for ray casting
+
+#: Cap on the (points x segments) temporary one distance chunk allocates;
+#: see :func:`_points_to_segments_min_distance`.
+DISTANCE_MAX_PAIRS = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -74,6 +80,57 @@ class LidarScan:
     max_range: float
 
 
+class _GroundContext:
+    """Cropped scan-range geometry, cached per map state and pose cell.
+
+    Building this is the expensive part of a ground scan (index query plus
+    per-polyline segment crop); consecutive scans from nearly the same pose
+    — the sensor-rate access pattern every surveyed localizer produces —
+    reuse one context until the vehicle leaves the pose cell or the map
+    changes underneath it (version or structural mutation count).
+    """
+
+    __slots__ = ("map_ref", "map_version", "map_mutations", "cell",
+                 "paint_a", "paint_b", "paint_refl", "paint_half",
+                 "lane_a", "lane_b")
+
+    def __init__(self, hdmap: HDMap, cell: Tuple[int, int],
+                 paint_segments: List[Tuple[np.ndarray, np.ndarray, float, float]],
+                 lane_lines: List[Tuple[np.ndarray, np.ndarray]]) -> None:
+        self.map_ref = weakref.ref(hdmap)
+        self.map_version = hdmap.version
+        self.map_mutations = hdmap.mutation_count
+        self.cell = cell
+        # Stack every group into flat per-segment arrays once at build time:
+        # the scan kernels then run one batched pass over all segments.
+        # (Per-group max/any reductions and per-segment ones are exactly
+        # equal — all segments in a group share refl/half.)
+        if paint_segments:
+            self.paint_a = np.concatenate([g[0] for g in paint_segments])
+            self.paint_b = np.concatenate([g[1] for g in paint_segments])
+            self.paint_refl = np.concatenate(
+                [np.full(g[0].shape[0], g[2]) for g in paint_segments])
+            self.paint_half = np.concatenate(
+                [np.full(g[0].shape[0], g[3]) for g in paint_segments])
+        else:
+            self.paint_a = np.zeros((0, 2))
+            self.paint_b = np.zeros((0, 2))
+            self.paint_refl = np.zeros(0)
+            self.paint_half = np.zeros(0)
+        if lane_lines:
+            self.lane_a = np.concatenate([g[0] for g in lane_lines])
+            self.lane_b = np.concatenate([g[1] for g in lane_lines])
+        else:
+            self.lane_a = np.zeros((0, 2))
+            self.lane_b = np.zeros((0, 2))
+
+    def valid_for(self, hdmap: HDMap, cell: Tuple[int, int]) -> bool:
+        return (self.cell == cell
+                and self.map_ref() is hdmap
+                and self.map_version == hdmap.version
+                and self.map_mutations == hdmap.mutation_count)
+
+
 class LidarScanner:
     """Scans the ground-truth map from a vehicle pose."""
 
@@ -82,15 +139,19 @@ class LidarScanner:
                  max_range: float = 60.0,
                  range_sigma: float = 0.02,
                  intensity_sigma: float = 0.05,
-                 dropout: float = 0.02) -> None:
+                 dropout: float = 0.02,
+                 context_cell_size: float = 8.0) -> None:
         self.n_azimuth = n_azimuth
         self.ground_ring_radii = tuple(ground_ring_radii)
         self.max_range = max_range
         self.range_sigma = range_sigma
         self.intensity_sigma = intensity_sigma
         self.dropout = dropout
+        self.context_cell_size = context_cell_size
+        self._ground_ctx: Optional[_GroundContext] = None
 
     # ------------------------------------------------------------------
+    @timed("lidar.scan")
     def scan(self, hdmap: HDMap, pose: SE2, rng: np.random.Generator,
              t: float = 0.0,
              obstacles: Optional[Sequence[Obstacle]] = None) -> LidarScan:
@@ -100,17 +161,29 @@ class LidarScanner:
                          max_range=self.max_range)
 
     # ------------------------------------------------------------------
-    def _scan_ground(self, hdmap: HDMap, pose: SE2,
-                     rng: np.random.Generator) -> GroundReturns:
-        azimuths = np.linspace(-np.pi, np.pi, self.n_azimuth, endpoint=False)
-        max_r = max(self.ground_ring_radii) + 2.0
-        cx, cy = pose.x, pose.y
+    def _ground_context(self, hdmap: HDMap, pose: SE2) -> _GroundContext:
+        """Cropped paint/lane segments covering every pose in the cell.
 
-        # Pre-fetch nearby geometry once per scan, cropping each polyline to
-        # the segments actually within scan range (long boundaries have huge
-        # bounding boxes, so index hits alone are not enough).
-        centre = np.array([cx, cy])
-        crop_r = max_r + 5.0
+        The crop is taken around the *cell centre* with the cell's half
+        diagonal added to the crop radius, so it is a superset of the
+        per-pose crop for any pose inside the cell. Supersets do not change
+        scan output: every extra segment lies farther from every scan point
+        than the widest intensity threshold (2.2 m lane half-width versus a
+        >= ~7 m crop margin beyond max ring reach), so its distances never
+        cross a paint/curb/on-road boundary.
+        """
+        cell_size = self.context_cell_size
+        cell = (int(np.floor(pose.x / cell_size)),
+                int(np.floor(pose.y / cell_size)))
+        ctx = self._ground_ctx
+        if ctx is not None and ctx.valid_for(hdmap, cell):
+            return ctx
+
+        centre = np.array([(cell[0] + 0.5) * cell_size,
+                           (cell[1] + 0.5) * cell_size])
+        margin = cell_size * float(np.sqrt(2.0)) / 2.0
+        max_r = max(self.ground_ring_radii) + 2.0
+        crop_r = max_r + 5.0 + margin
 
         def _crop(pts: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
             a, b = pts[:-1], pts[1:]
@@ -121,7 +194,8 @@ class LidarScanner:
                 return None
             return a[near], b[near]
 
-        nearby = hdmap.elements_in_radius(cx, cy, crop_r)
+        nearby = hdmap.elements_in_radius(float(centre[0]), float(centre[1]),
+                                          crop_r)
         paint_segments: List[Tuple[np.ndarray, np.ndarray, float, float]] = []
         lane_lines: List[Tuple[np.ndarray, np.ndarray]] = []
         for element in nearby:
@@ -138,44 +212,90 @@ class LidarScanner:
                 cropped = _crop(element.centerline.points)
                 if cropped is not None:
                     lane_lines.append(cropped)
+        ctx = _GroundContext(hdmap, cell, paint_segments, lane_lines)
+        self._ground_ctx = ctx
+        return ctx
 
-        all_points = []
-        all_intensity = []
-        all_ring = []
+    def _scan_ground(self, hdmap: HDMap, pose: SE2,
+                     rng: np.random.Generator) -> GroundReturns:
+        azimuths = np.linspace(-np.pi, np.pi, self.n_azimuth, endpoint=False)
+        ctx = self._ground_context(hdmap, pose)
+
+        # Draw every ring's samples first — in the exact per-ring order the
+        # unfused implementation consumed the rng stream — then run the
+        # paint/lane distance kernels once over all rings stacked. The
+        # per-point arithmetic is row-independent, so fusing rings changes
+        # nothing numerically while cutting kernel launches by the ring
+        # count.
+        all_local: List[np.ndarray] = []
+        all_noise: List[np.ndarray] = []
+        all_ring: List[np.ndarray] = []
         for ring_idx, radius in enumerate(self.ground_ring_radii):
             keep = rng.uniform(size=azimuths.size) >= self.dropout
             az = azimuths[keep]
             r = radius + rng.normal(0.0, self.range_sigma * 2.0, size=az.size)
             local = np.stack([r * np.cos(az), r * np.sin(az)], axis=1)
-            world = pose.apply(local)
-
-            # Distance to nearest painted line decides the intensity.
-            best_refl = np.full(world.shape[0], -1.0)
-            for a, b, refl, half in paint_segments:
-                d = _points_to_segments_min_distance(world, a, b)
-                hit = d <= half
-                best_refl = np.where(hit & (refl > best_refl), refl, best_refl)
-
-            on_road = np.zeros(world.shape[0], dtype=bool)
-            for a, b in lane_lines:
-                d = _points_to_segments_min_distance(world, a, b)
-                on_road |= d <= 2.2  # within a lane half-width-ish
-
-            intensity = np.where(
-                best_refl >= 0.0, best_refl,
-                np.where(on_road, ASPHALT_INTENSITY, OFFROAD_INTENSITY),
-            )
-            intensity = np.clip(
-                intensity + rng.normal(0.0, self.intensity_sigma,
-                                       size=intensity.size), 0.0, 1.0)
-            all_points.append(local)
-            all_intensity.append(intensity)
+            noise = rng.normal(0.0, self.intensity_sigma, size=az.size)
+            all_local.append(local)
+            all_noise.append(noise)
             all_ring.append(np.full(local.shape[0], ring_idx, dtype=int))
 
+        local = np.concatenate(all_local, axis=0)
+        world = pose.apply(local)
+        n_pts = world.shape[0]
+
+        # Conservative per-scan segment prune. Every scan point lies within
+        # r_max of the pose, so (triangle inequality) a segment whose
+        # distance from the pose exceeds r_max + threshold cannot come
+        # within threshold of any point; dropping it cannot change any
+        # hit/on-road bit. The 1e-6 slack dwarfs the rounding error of the
+        # two distance computations.
+        r_max = (float(np.hypot(local[:, 0], local[:, 1]).max())
+                 if n_pts else 0.0)
+        pose_pt = np.array([[pose.x, pose.y]])
+
+        # Distance to nearest painted line decides the intensity. One
+        # batched pass over all cached paint segments: per-point best
+        # reflectivity is an exact max, identical to the per-group chain.
+        best_refl = np.full(n_pts, -1.0)
+        if n_pts and ctx.paint_a.shape[0]:
+            pose_d = _segment_distances_block(pose_pt, ctx.paint_a,
+                                              ctx.paint_b)[0]
+            near = pose_d <= r_max + ctx.paint_half + 1e-6
+            if near.any():
+                a, b = ctx.paint_a[near], ctx.paint_b[near]
+                refl, half = ctx.paint_refl[near], ctx.paint_half[near]
+                chunk = max(1, min(n_pts,
+                                   DISTANCE_MAX_PAIRS // max(a.shape[0], 1)))
+                for lo in range(0, n_pts, chunk):
+                    d = _segment_distances_block(world[lo:lo + chunk], a, b)
+                    hit = d <= half[None, :]
+                    best_refl[lo:lo + chunk] = np.where(
+                        hit, refl[None, :], -1.0).max(axis=1)
+
+        on_road = np.zeros(n_pts, dtype=bool)
+        if n_pts and ctx.lane_a.shape[0]:
+            pose_d = _segment_distances_block(pose_pt, ctx.lane_a,
+                                              ctx.lane_b)[0]
+            near = pose_d <= r_max + 2.2 + 1e-6
+            if near.any():
+                a, b = ctx.lane_a[near], ctx.lane_b[near]
+                chunk = max(1, min(n_pts,
+                                   DISTANCE_MAX_PAIRS // max(a.shape[0], 1)))
+                for lo in range(0, n_pts, chunk):
+                    d = _segment_distances_block(world[lo:lo + chunk], a, b)
+                    # within a lane half-width-ish
+                    on_road[lo:lo + chunk] = (d <= 2.2).any(axis=1)
+
+        intensity = np.where(
+            best_refl >= 0.0, best_refl,
+            np.where(on_road, ASPHALT_INTENSITY, OFFROAD_INTENSITY),
+        )
+        intensity = np.clip(intensity + np.concatenate(all_noise), 0.0, 1.0)
         return GroundReturns(
-            points=np.concatenate(all_points, axis=0),
-            intensity=np.concatenate(all_intensity, axis=0),
-            ring=np.concatenate(all_ring, axis=0),
+            points=local,
+            intensity=intensity,
+            ring=np.concatenate(all_ring),
         )
 
     # ------------------------------------------------------------------
@@ -232,18 +352,53 @@ def _is_flat(landmark: PointLandmark) -> bool:
     return landmark.height <= 0.05
 
 
+def _segment_distances_block(points: np.ndarray, a: np.ndarray,
+                             b: np.ndarray) -> np.ndarray:
+    """Exact (P, S) point-to-segment distance matrix.
+
+    x/y components stay as separate 2-D arrays (no (P, S, 2) temporaries);
+    every elementwise operation mirrors the einsum formulation in the same
+    order, so the distances are bit-identical to it.
+    """
+    ax, ay = a[:, 0], a[:, 1]
+    dx = b[:, 0] - ax
+    dy = b[:, 1] - ay
+    denom = dx * dx + dy * dy  # (S,)
+    px = points[:, 0, None]
+    py = points[:, 1, None]
+    relx = px - ax[None, :]
+    rely = py - ay[None, :]
+    t = np.clip((relx * dx[None, :] + rely * dy[None, :])
+                / np.maximum(denom, 1e-300)[None, :], 0.0, 1.0)
+    fx = px - (ax[None, :] + t * dx[None, :])
+    fy = py - (ay[None, :] + t * dy[None, :])
+    return np.sqrt(fx * fx + fy * fy)
+
+
 def _points_to_segments_min_distance(points: np.ndarray, a: np.ndarray,
-                                     b: np.ndarray) -> np.ndarray:
+                                     b: np.ndarray,
+                                     max_pairs: int = DISTANCE_MAX_PAIRS
+                                     ) -> np.ndarray:
     """Min distance from each of P points to any of S segments, vectorized.
 
     ``points``: (P, 2); ``a``/``b``: (S, 2) segment endpoints. Returns (P,).
+    With no segments every distance is ``inf``. The (P, S) computation is
+    chunked over segments so peak memory stays below ``max_pairs`` pairs;
+    taking the min of per-chunk minima is exact, so chunking never changes
+    the result.
     """
-    d = b - a  # (S, 2)
-    denom = np.einsum("ij,ij->i", d, d)  # (S,)
-    rel = points[:, None, :] - a[None, :, :]  # (P, S, 2)
-    t = np.einsum("psj,sj->ps", rel, d) / np.maximum(denom[None, :], 1e-300)
-    t = np.clip(t, 0.0, 1.0)
-    closest = a[None, :, :] + t[..., None] * d[None, :, :]
-    diff = points[:, None, :] - closest
-    dist2 = np.einsum("psj,psj->ps", diff, diff)
-    return np.sqrt(dist2.min(axis=1))
+    n_pts = points.shape[0]
+    n_seg = a.shape[0]
+    if n_seg == 0:
+        return np.full(n_pts, np.inf)
+    chunk = max(1, min(n_seg, max_pairs // max(n_pts, 1)))
+    if chunk >= n_seg:
+        return _segment_distances_block(points, a, b).min(axis=1)
+    best = np.full(n_pts, np.inf)
+    for lo in range(0, n_seg, chunk):
+        hi = lo + chunk
+        np.minimum(best,
+                   _segment_distances_block(points, a[lo:hi],
+                                            b[lo:hi]).min(axis=1),
+                   out=best)
+    return best

@@ -60,11 +60,18 @@ class Request:
 
 @dataclass
 class GetTile(Request):
-    """Fetch one decoded tile of the static base map."""
+    """Fetch one tile of the static base map.
+
+    With ``encoded=True`` the response payload is the serialized tile
+    blob (bytes) rather than the decoded :class:`~repro.core.hdmap.HDMap`;
+    repeat requests are answered from the serving cache's per-version
+    encoded-payload memo without re-serializing.
+    """
 
     tile: TileId
     priority: Priority = Priority.NORMAL
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    encoded: bool = False
 
 
 @dataclass

@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 import threading
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.hdmap import HDMap
 from repro.core.tiles import TileId
@@ -69,12 +69,15 @@ class RWLock:
 
 
 class _Shard:
-    __slots__ = ("lock", "items", "recency")
+    __slots__ = ("lock", "items", "recency", "encoded")
 
     def __init__(self) -> None:
         self.lock = RWLock()
         self.items: Dict[TileId, Optional[HDMap]] = {}
         self.recency: Dict[TileId, int] = {}
+        # Serialized payloads keyed (tile, version): repeat encoded reads of
+        # an unchanged tile skip re-serialization entirely.
+        self.encoded: Dict[Tuple[TileId, int], bytes] = {}
 
 
 class ShardedTileCache:
@@ -91,6 +94,8 @@ class ShardedTileCache:
         self.hits = Counter()
         self.misses = Counter()
         self.evictions = Counter()
+        self.serialization_hits = Counter()
+        self.serialization_builds = Counter()
 
     def _shard_for(self, tile: TileId) -> _Shard:
         return self._shards[hash((tile.tx, tile.ty)) % len(self._shards)]
@@ -123,6 +128,54 @@ class ShardedTileCache:
                 value = shard.items[tile]
         return value
 
+    def get_encoded(self, tile: TileId, version: int,
+                    encoder: Callable[[HDMap], bytes]) -> Optional[bytes]:
+        """Serialized tile payload, memoized per ``(tile, version)``.
+
+        A hit returns the cached blob under the shared lock without touching
+        the encoder. On a miss the decoded tile is fetched through
+        :meth:`get` and encoded *outside* every lock (two concurrent misses
+        may both encode; the second install is discarded). Returns None for
+        tiles the loader does not have.
+        """
+        shard = self._shard_for(tile)
+        key = (tile, version)
+        with shard.lock.read():
+            payload = shard.encoded.get(key)
+            if payload is not None:
+                self.serialization_hits.add()
+                return payload
+        decoded = self.get(tile)
+        if decoded is None:
+            return None
+        payload = encoder(decoded)
+        self.serialization_builds.add()
+        with shard.lock.write():
+            existing = shard.encoded.get(key)
+            if existing is not None:
+                return existing
+            shard.encoded[key] = payload
+            # Bound the memo like the decoded side; dict order is insertion
+            # order, so the oldest entry (stalest version first) goes.
+            while len(shard.encoded) > self.tiles_per_shard:
+                shard.encoded.pop(next(iter(shard.encoded)))
+        return payload
+
+    def invalidate_encoded(self,
+                           tiles: Optional[List[TileId]] = None) -> None:
+        """Drop encoded payloads (all, or those of specific tiles)."""
+        if tiles is None:
+            for shard in self._shards:
+                with shard.lock.write():
+                    shard.encoded.clear()
+            return
+        wanted = set(tiles)
+        for tile in wanted:
+            shard = self._shard_for(tile)
+            with shard.lock.write():
+                for key in [k for k in shard.encoded if k[0] in wanted]:
+                    del shard.encoded[key]
+
     def invalidate(self, tiles: Optional[List[TileId]] = None) -> None:
         """Drop specific tiles (or everything when ``tiles`` is None)."""
         if tiles is None:
@@ -130,12 +183,15 @@ class ShardedTileCache:
                 with shard.lock.write():
                     shard.items.clear()
                     shard.recency.clear()
+                    shard.encoded.clear()
             return
         for tile in tiles:
             shard = self._shard_for(tile)
             with shard.lock.write():
                 shard.items.pop(tile, None)
                 shard.recency.pop(tile, None)
+                for key in [k for k in shard.encoded if k[0] == tile]:
+                    del shard.encoded[key]
 
     def resident_tiles(self) -> List[TileId]:
         out: List[TileId] = []
@@ -157,4 +213,6 @@ class ShardedTileCache:
             "evictions": self.evictions.value,
             "hit_rate": self.hit_rate,
             "resident": len(self.resident_tiles()),
+            "serialization_hits": self.serialization_hits.value,
+            "serialization_builds": self.serialization_builds.value,
         }

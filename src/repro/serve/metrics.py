@@ -159,6 +159,11 @@ class ServiceMetrics:
         self.shed = Counter()       # stale low-priority dropped by workers
         self.errors = Counter()
         self.freshness = LatencyHistogram(FRESHNESS_BOUNDS)
+        self._cache = None
+
+    def attach_cache(self, cache) -> None:
+        """Surface a tile cache's counters in :meth:`snapshot`."""
+        self._cache = cache
 
     def record_freshness(self, lag_s: float) -> None:
         """Record one observation-enqueue -> served-version lag."""
@@ -216,4 +221,17 @@ class ServiceMetrics:
         }
         if self.freshness.count:
             out["freshness"] = self.freshness.snapshot()
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """as_dict() plus the attached cache's counters.
+
+        The ``cache`` section carries the serving cache's decode counters
+        and the serialization-memo ``serialization_hits`` /
+        ``serialization_builds`` split, making encoded-payload memoization
+        observable per service.
+        """
+        out = self.as_dict()
+        if self._cache is not None:
+            out["cache"] = self._cache.as_dict()
         return out

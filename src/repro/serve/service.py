@@ -50,6 +50,7 @@ from repro.serve.api import (
 )
 from repro.serve.cache import ShardedTileCache
 from repro.serve.metrics import ServiceMetrics
+from repro.storage.binary import encode_map
 from repro.storage.tilestore import TileStore
 from repro.update.distribution import MapDistributionServer
 
@@ -85,6 +86,10 @@ class MapService:
         self.cache = ShardedTileCache(self._fetch_tile, cache_shards,
                                       tiles_per_shard)
         self.metrics = ServiceMetrics()
+        self.metrics.attach_cache(self.cache)
+        # Encoded payloads are keyed by served version; a published patch
+        # advances the version, so drop the now-stale memo entries eagerly.
+        server.add_listener(self._on_ingest_publish)
         self.queue = AdmissionController(policy, on_shed=self._shed_item,
                                          clock=clock)
         self._threads: List[threading.Thread] = []
@@ -178,9 +183,16 @@ class MapService:
             time.sleep(self.storage_latency_s)
         return self.store.load_tile(tile)
 
+    def _on_ingest_publish(self, version: int, patch) -> None:
+        self.cache.invalidate_encoded()
+
     def _dispatch(self, request: Request):
         if isinstance(request, GetTile):
-            return self.cache.get(request.tile), self.server.version
+            version = self.server.version
+            if request.encoded:
+                return (self.cache.get_encoded(request.tile, version,
+                                               encode_map), version)
+            return self.cache.get(request.tile), version
         if isinstance(request, SpatialQuery):
             return self._spatial(request), self.server.version
         if isinstance(request, ChangesSince):

@@ -46,13 +46,17 @@ class LaneLearner:
         edges = np.linspace(0.0, ref.length, n_bins + 1)
         sums = np.zeros(n_bins)
         counts = np.zeros(n_bins)
-        for p in points:
-            s, d = ref.project(p)
-            if not (0.0 <= s <= ref.length) or abs(d) > 10.0:
-                continue
-            b = min(int(s / ref.length * n_bins), n_bins - 1)
-            sums[b] += d
-            counts[b] += 1
+        pts = np.asarray(points, dtype=float).reshape(-1, 2)
+        if pts.shape[0]:
+            s_all, d_all = ref.project_batch(pts)
+            keep = ((s_all >= 0.0) & (s_all <= ref.length)
+                    & (np.abs(d_all) <= 10.0))
+            bins = np.minimum((s_all[keep] / ref.length * n_bins).astype(int),
+                              n_bins - 1)
+            # np.add.at accumulates in point order — same float sums as the
+            # scalar loop it replaced.
+            np.add.at(sums, bins, d_all[keep])
+            np.add.at(counts, bins, 1.0)
         observed = counts > 0
         if observed.sum() < 3:
             return None
@@ -72,13 +76,8 @@ class LaneLearner:
         except np.linalg.LinAlgError:
             return None
 
-        pts = []
-        for i in range(n_bins):
-            s_mid = float((edges[i] + edges[i + 1]) / 2.0)
-            base = ref.point_at(s_mid)
-            normal = ref.normal_at(s_mid)
-            pts.append(base + d[i] * normal)
-        return Polyline(np.array(pts))
+        s_mid = (edges[:-1] + edges[1:]) / 2.0
+        return Polyline(ref.points_at(s_mid) + d[:, None] * ref.normals_at(s_mid))
 
     # ------------------------------------------------------------------
     def fit_naive(self, points: np.ndarray) -> Optional[Polyline]:
@@ -95,6 +94,6 @@ class LaneLearner:
               truth: Polyline) -> ErrorStats:
         if fitted is None:
             return error_stats([float("nan")])
-        errors = [abs(truth.project(p)[1])
-                  for p in fitted.resample(self.station_bin).points]
+        sampled = fitted.resample(self.station_bin).points
+        errors = np.abs(truth.project_batch(sampled)[1])
         return error_stats(errors)

@@ -1,0 +1,511 @@
+"""repro.perf: instrumentation, runner, kernel equivalence, serve memoization.
+
+The equivalence classes here are the heart of the optimization PR: every
+vectorized hot-path kernel must produce **bit-identical** output to its
+frozen pre-optimization twin in :mod:`repro.perf.reference` on the same
+rng stream. Anything weaker would let a "fast but subtly different"
+kernel slip into the physics.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.index import GridIndex
+from repro.geometry.polyline import Polyline
+from repro.geometry.transform import SE2
+from repro.localization.geometric import (
+    LandmarkLayout,
+    LayoutPattern,
+    simulate_layout_error,
+    solve_position,
+    solve_positions,
+)
+from repro.localization.lane_marking import _batch_signed_laterals
+from repro.localization.map_matching import match_line_segments
+from repro.perf import PerfRegistry, timed
+from repro.perf import reference
+from repro.perf.runner import (
+    BenchResult,
+    check_baseline,
+    load_report,
+    run_bench,
+    write_report,
+)
+from repro.sensors.lidar import (
+    LidarScanner,
+    _points_to_segments_min_distance,
+)
+from repro.serve import GetTile, IngestPatch, MapService, Status
+from repro.storage import TileStore
+from repro.storage.binary import encode_map
+from repro.update.distribution import MapDistributionServer
+from repro.world import generate_grid_city
+
+from tests.test_serve import _add_sign_patch
+
+
+# ----------------------------------------------------------------------
+# Instrumentation
+# ----------------------------------------------------------------------
+class TestInstrument:
+    def test_context_manager_accumulates(self):
+        reg = PerfRegistry(enabled=True)
+        with timed("outer", reg):
+            with timed("inner", reg):
+                time.sleep(0.002)
+        snap = reg.snapshot()
+        assert snap["outer"]["calls"] == 1
+        assert snap["inner"]["calls"] == 1
+        # Nesting: outer envelops inner.
+        assert snap["outer"]["total_ns"] >= snap["inner"]["total_ns"]
+
+    def test_decorator_counts_calls(self):
+        reg = PerfRegistry(enabled=True)
+
+        @timed("fn", reg)
+        def fn(x):
+            return x + 1
+
+        assert [fn(i) for i in range(5)] == [1, 2, 3, 4, 5]
+        snap = reg.snapshot()
+        assert snap["fn"]["calls"] == 5
+        assert snap["fn"]["total_ns"] > 0
+
+    def test_disabled_registry_records_nothing(self):
+        reg = PerfRegistry(enabled=False)
+
+        @timed("fn", reg)
+        def fn():
+            return 42
+
+        with timed("ctx", reg):
+            fn()
+        assert reg.snapshot() == {}
+
+    def test_enable_disable_reset_cycle(self):
+        reg = PerfRegistry()
+        reg.enable()
+        with timed("a", reg):
+            pass
+        reg.disable()
+        with timed("a", reg):
+            pass
+        assert reg.snapshot()["a"]["calls"] == 1
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_threads_accumulate_independently_then_merge(self):
+        reg = PerfRegistry(enabled=True)
+
+        def work():
+            for _ in range(10):
+                with timed("shared", reg):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        work()
+        assert reg.snapshot()["shared"]["calls"] == 50
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_run_bench_counts_reps(self):
+        calls = []
+        result = run_bench("k", lambda: calls.append(1),
+                           repetitions=5, warmup=2)
+        assert len(calls) == 7  # warmup included in calls, not samples
+        assert len(result.samples_s) == 5
+        assert result.min_s <= result.median_s <= result.max_s
+
+    def test_p95_linear_interpolation(self):
+        r = BenchResult("k", samples_s=[float(i) for i in range(1, 21)])
+        # rank = 0.95 * 19 = 18.05 over sorted 1..20 -> 19.05
+        assert r.p95_s == pytest.approx(19.05)
+        assert BenchResult("k", samples_s=[3.0]).p95_s == 3.0
+        assert BenchResult("k").p95_s == 0.0
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "perf.json")
+        results = [BenchResult("a", [0.1, 0.2, 0.3]),
+                   BenchResult("b", [0.5])]
+        report = write_report(path, results, speedups={"a": 3.5},
+                              counters={"a": {"calls": 7}})
+        loaded = load_report(path)
+        assert loaded == json.loads(json.dumps(report))
+        assert loaded["kernels"]["a"]["median_s"] == pytest.approx(0.2)
+        assert loaded["speedups"]["a"] == 3.5
+        assert loaded["counters"]["a"]["calls"] == 7
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/9", "kernels": {}}')
+        with pytest.raises(ValueError, match="schema"):
+            load_report(str(path))
+
+    def test_check_baseline_gates_regressions(self):
+        fresh = {"kernels": {"a": {"median_s": 0.30},
+                             "b": {"median_s": 0.10},
+                             "new": {"median_s": 1.0}}}
+        base = {"kernels": {"a": {"median_s": 0.10},
+                            "b": {"median_s": 0.10}}}
+        failures = check_baseline(fresh, base, ["a", "b", "new", "gone"],
+                                  max_regression=2.5)
+        # a regressed 3.0x; new has no baseline (skipped); gone is missing
+        # from the fresh report (fails).
+        assert len(failures) == 2
+        assert any("a:" in f and "3.00x" in f for f in failures)
+        assert any("gone" in f for f in failures)
+        assert check_baseline(fresh, base, ["b"]) == []
+
+
+# ----------------------------------------------------------------------
+# Kernel equivalence: optimized vs frozen reference, bit-identical.
+# ----------------------------------------------------------------------
+class TestProjectBatchEquivalence:
+    def test_bit_identical_to_scalar_project(self):
+        rng = np.random.default_rng(3)
+        s = np.linspace(0.0, 200.0, 80)
+        line = Polyline(np.stack(
+            [s, 9.0 * np.sin(s / 25.0) + rng.normal(0.0, 0.2, s.size)],
+            axis=1))
+        points = np.stack([rng.uniform(-10.0, 210.0, 500),
+                           rng.uniform(-20.0, 20.0, 500)], axis=1)
+        stations, laterals = line.project_batch(points)
+        ref_s, ref_d = reference.project_scalar(line, points)
+        np.testing.assert_array_equal(stations, ref_s)
+        np.testing.assert_array_equal(laterals, ref_d)
+
+    def test_chunking_does_not_change_results(self):
+        rng = np.random.default_rng(4)
+        line = Polyline(rng.uniform(0.0, 100.0, (300, 2)).cumsum(axis=0))
+        points = rng.uniform(0.0, 3000.0, (64, 2))
+        full_s, full_d = line.project_batch(points)
+        tiny_s, tiny_d = line.project_batch(points, max_pairs=512)
+        np.testing.assert_array_equal(full_s, tiny_s)
+        np.testing.assert_array_equal(full_d, tiny_d)
+
+    def test_empty_batch(self):
+        line = Polyline(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        stations, laterals = line.project_batch(np.zeros((0, 2)))
+        assert stations.shape == (0,)
+        assert laterals.shape == (0,)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_property_agrees_with_scalar(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=12))
+        pts = np.array([
+            [data.draw(st.floats(-1e3, 1e3)), data.draw(st.floats(-1e3, 1e3))]
+            for _ in range(n)])
+        seg = np.diff(pts, axis=0)
+        if not np.all(np.hypot(seg[:, 0], seg[:, 1]) > 1e-6):
+            pts = np.cumsum(np.abs(pts) + 1.0, axis=0)
+        line = Polyline(pts)
+        m = data.draw(st.integers(min_value=1, max_value=8))
+        query = np.array([
+            [data.draw(st.floats(-2e3, 2e3)), data.draw(st.floats(-2e3, 2e3))]
+            for _ in range(m)])
+        stations, laterals = line.project_batch(query)
+        ref_s, ref_d = reference.project_scalar(line, query)
+        np.testing.assert_allclose(stations, ref_s, atol=1e-9)
+        np.testing.assert_allclose(laterals, ref_d, atol=1e-9)
+
+
+class TestLidarEquivalence:
+    @pytest.mark.parametrize("pose", [
+        SE2(150.0, 150.0, 0.3),
+        SE2(310.0, 160.0, -1.2),
+        SE2(75.0, 290.0, 2.8),
+    ])
+    def test_scan_bit_identical_to_reference(self, city, pose):
+        scanner = LidarScanner()
+        opt = scanner.scan(city, pose, np.random.default_rng(11))
+        ref = reference.scan_reference(scanner, city, pose,
+                                       np.random.default_rng(11))
+        np.testing.assert_array_equal(opt.ground.points, ref.ground.points)
+        np.testing.assert_array_equal(opt.ground.intensity,
+                                      ref.ground.intensity)
+        np.testing.assert_array_equal(opt.ground.ring, ref.ground.ring)
+        np.testing.assert_array_equal(opt.objects.angles, ref.objects.angles)
+        np.testing.assert_array_equal(opt.objects.ranges, ref.objects.ranges)
+        np.testing.assert_array_equal(opt.objects.intensity,
+                                      ref.objects.intensity)
+
+    def test_repeated_scan_at_fixed_cell_stays_identical(self, city):
+        """The scan-context cache must not change results on reuse."""
+        scanner = LidarScanner()
+        pose = SE2(150.0, 150.0, 0.3)
+        first = scanner.scan(city, pose, np.random.default_rng(5))
+        again = scanner.scan(city, pose, np.random.default_rng(5))
+        np.testing.assert_array_equal(first.ground.intensity,
+                                      again.ground.intensity)
+
+    def test_cache_invalidated_on_map_mutation(self, city):
+        scanner = LidarScanner()
+        pose = SE2(150.0, 150.0, 0.3)
+        world = city.copy()
+        scanner.scan(world, pose, np.random.default_rng(5))
+        # Remove every boundary near the pose; a stale context would keep
+        # returning painted intensities.
+        for element in list(world.elements_in_radius(pose.x, pose.y, 60.0,
+                                                     kind="boundary")):
+            world.remove(element.id)
+        fresh = scanner.scan(world, pose, np.random.default_rng(5))
+        ref = reference.scan_reference(scanner, world, pose,
+                                       np.random.default_rng(5))
+        np.testing.assert_array_equal(fresh.ground.intensity,
+                                      ref.ground.intensity)
+
+    def test_min_distance_empty_segments_returns_inf(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        empty = np.zeros((0, 2))
+        d = _points_to_segments_min_distance(points, empty, empty)
+        assert d.shape == (2,)
+        assert np.all(np.isinf(d))
+
+    def test_min_distance_chunked_matches_reference(self):
+        rng = np.random.default_rng(8)
+        points = rng.uniform(0.0, 100.0, (37, 2))
+        a = rng.uniform(0.0, 100.0, (53, 2))
+        b = a + rng.uniform(-5.0, 5.0, (53, 2))
+        expect = reference.points_to_segments_min_distance_reference(
+            points, a, b)
+        got = _points_to_segments_min_distance(points, a, b)
+        chunked = _points_to_segments_min_distance(points, a, b, max_pairs=64)
+        np.testing.assert_array_equal(got, expect)
+        np.testing.assert_array_equal(chunked, expect)
+
+
+class TestParticleWeightEquivalence:
+    def test_batched_laterals_match_scalar(self, city):
+        rng = np.random.default_rng(21)
+        pose = SE2(150.0, 150.0, 0.3)
+        states = np.stack([rng.normal(pose.x, 2.0, 100),
+                           rng.normal(pose.y, 2.0, 100),
+                           rng.normal(pose.theta, 0.1, 100)], axis=1)
+        boundaries = _fixture_boundaries(city, pose)
+        groups = boundaries["paint"] + boundaries["edge"]
+        assert groups, "fixture city must have boundaries near the pose"
+        for a_pts, b_pts in groups:
+            lateral, valid = _batch_signed_laterals(states, a_pts, b_pts)
+            for i in range(states.shape[0]):
+                expect = reference._signed_lateral_reference(
+                    a_pts, b_pts, *states[i])
+                if expect is None:
+                    assert not valid[i]
+                else:
+                    assert valid[i]
+                    assert lateral[i] == expect
+
+    def test_weights_bit_identical_to_reference(self, city):
+        rng = np.random.default_rng(22)
+        pose = SE2(150.0, 150.0, 0.3)
+        states = np.stack([rng.normal(pose.x, 1.5, 250),
+                           rng.normal(pose.y, 1.5, 250),
+                           rng.normal(pose.theta, 0.05, 250)], axis=1)
+        boundaries = _fixture_boundaries(city, pose)
+        measurements = [(1.7, "paint"), (-1.9, "paint"), (5.2, "edge")]
+        sigma = 0.12
+
+        laterals = {
+            cls: [_batch_signed_laterals(states, a_pts, b_pts)
+                  for a_pts, b_pts in boundaries.get(cls, ())]
+            for cls in ("paint", "edge")
+        }
+        total = np.zeros(states.shape[0])
+        for m, cls in measurements:
+            best = np.full(states.shape[0], np.inf)
+            for lat, valid in laterals[cls]:
+                err = np.where(valid, np.abs(lat - m), np.inf)
+                np.minimum(best, err, out=best)
+            scale = 2.0 if cls == "edge" else 1.0
+            term = scale * (np.minimum(best, 3.0 * sigma) / sigma)**2
+            total += np.where(np.isfinite(best), term, 0.0)
+        log_w = -0.5 * total
+        log_w -= log_w.max()
+        batched = np.exp(log_w)
+
+        expect = reference.particle_weights_reference(
+            states, measurements, boundaries, sigma)
+        np.testing.assert_array_equal(batched, expect)
+
+
+class TestMatchAndGeometricEquivalence:
+    @staticmethod
+    def _segment_world(rng, n_obs, n_ref):
+        def segs(n):
+            a = rng.uniform(0.0, 80.0, (n, 2))
+            angle = rng.uniform(0.0, np.pi, n)
+            length = rng.uniform(2.0, 12.0, n)
+            b = a + np.stack([length * np.cos(angle),
+                              length * np.sin(angle)], axis=1)
+            return [(a[i], b[i]) for i in range(n)]
+        return segs(n_obs), segs(n_ref)
+
+    def test_match_line_segments_matches_reference(self):
+        rng = np.random.default_rng(31)
+        for _ in range(20):
+            observed, ref_lines = self._segment_world(rng, 6, 18)
+            got = match_line_segments(observed, ref_lines)
+            expect = reference.match_line_segments_reference(
+                observed, ref_lines)
+            if expect is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got.x == expect.x
+                assert got.y == expect.y
+                assert got.theta == expect.theta
+
+    def test_solve_positions_matches_sequential(self):
+        rng = np.random.default_rng(41)
+        layout = LandmarkLayout.generate(LayoutPattern.RANDOM, 6, 40.0, rng)
+        true_ranges = np.hypot(layout.positions[:, 0],
+                               layout.positions[:, 1])
+        measured = true_ranges + rng.normal(0.0, 0.3, (16, true_ranges.size))
+        batch = solve_positions(layout, measured)
+        for k in range(measured.shape[0]):
+            single = solve_position(layout, measured[k])
+            np.testing.assert_allclose(batch[k], single, atol=1e-7)
+
+    def test_simulate_layout_error_matches_reference(self):
+        rng = np.random.default_rng(42)
+        layout = LandmarkLayout.generate(LayoutPattern.RANDOM, 5, 35.0, rng)
+        got = simulate_layout_error(layout, 0.4,
+                                    np.random.default_rng(9), trials=64)
+        expect = reference.simulate_layout_error_reference(
+            layout, 0.4, np.random.default_rng(9), trials=64)
+        assert got == pytest.approx(expect, rel=1e-7)
+
+
+# ----------------------------------------------------------------------
+# GridIndex determinism and nearest() clamp
+# ----------------------------------------------------------------------
+class TestGridIndexDeterminism:
+    @staticmethod
+    def _build(keys_bounds):
+        index = GridIndex(cell_size=10.0)
+        for key, bounds in keys_bounds:
+            index.insert(key, bounds)
+        return index
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 500),
+                  st.tuples(st.floats(0.0, 90.0), st.floats(0.0, 90.0))),
+        min_size=1, max_size=40, unique_by=lambda kb: kb[0]))
+    def test_same_hits_as_repr_sorted_reference(self, items):
+        keys_bounds = [((k % 7, k), (x, y, x + 8.0, y + 8.0))
+                       for k, (x, y) in items]
+        index = self._build(keys_bounds)
+        query = (20.0, 20.0, 70.0, 70.0)
+        got = index.query_box(query)
+        expect = reference.query_box_repr_sorted(index, query)
+        assert set(got) == set(expect)
+        assert len(got) == len(set(got))
+
+    def test_order_is_insertion_order_and_rebuild_stable(self):
+        rng = np.random.default_rng(51)
+        keys_bounds = []
+        for i in rng.permutation(30):
+            x, y = rng.uniform(0.0, 50.0, 2)
+            keys_bounds.append((("e", int(i)), (x, y, x + 5.0, y + 5.0)))
+        first = self._build(keys_bounds)
+        second = self._build(keys_bounds)
+        query = (0.0, 0.0, 60.0, 60.0)
+        hits = first.query_box(query)
+        assert hits == second.query_box(query)
+        inserted_order = [k for k, _ in keys_bounds]
+        assert hits == sorted(hits, key=inserted_order.index)
+
+    def test_nearest_respects_max_radius_clamp(self):
+        index = GridIndex(cell_size=1.0)
+        index.insert("near", (5.0, 0.0, 5.0, 0.0))
+        index.insert("far", (500.0, 0.0, 500.0, 0.0))
+        centres = {"near": (5.0, 0.0), "far": (500.0, 0.0)}
+
+        calls = []
+
+        def dist(key):
+            calls.append(key)
+            cx, cy = centres[key]
+            return float(np.hypot(cx, cy))
+
+        key, d = index.nearest(0.0, 0.0, dist, max_radius=20.0)
+        assert (key, d) == ("near", 5.0)
+        # The clamped verification ring must never reach the far key.
+        assert "far" not in calls
+
+    def test_nearest_falls_back_to_full_scan(self):
+        index = GridIndex(cell_size=1.0)
+        index.insert("only", (300.0, 0.0, 300.0, 0.0))
+        key, d = index.nearest(0.0, 0.0, lambda k: 300.0, max_radius=4.0)
+        assert key == "only"
+        assert d == 300.0
+
+
+# ----------------------------------------------------------------------
+# Serving: encoded-payload memoization + metrics
+# ----------------------------------------------------------------------
+class TestServeEncodedMemoization:
+    def test_encoded_payload_memoized_per_version(self, city):
+        store = TileStore.build(city, tile_size=150.0)
+        server = MapDistributionServer(city.copy())
+        with MapService(server, store, n_workers=2) as service:
+            tile = store.tiles()[0]
+            first = service.request(GetTile(tile, encoded=True))
+            assert first.status is Status.OK
+            assert isinstance(first.payload, bytes)
+            decoded_resp = service.request(GetTile(tile))
+            assert first.payload == encode_map(decoded_resp.payload)
+
+            again = service.request(GetTile(tile, encoded=True))
+            assert again.payload == first.payload
+            stats = service.cache.as_dict()
+            assert stats["serialization_builds"] == 1
+            assert stats["serialization_hits"] == 1
+
+    def test_ingest_publish_invalidates_encoded(self, city):
+        store = TileStore.build(city, tile_size=150.0)
+        server = MapDistributionServer(city.copy())
+        with MapService(server, store, n_workers=2) as service:
+            tile = store.tiles()[0]
+            service.request(GetTile(tile, encoded=True))
+            assert service.cache.as_dict()["serialization_builds"] == 1
+
+            resp = service.request(IngestPatch(_add_sign_patch(server)))
+            assert resp.status is Status.OK
+
+            service.request(GetTile(tile, encoded=True))
+            stats = service.cache.as_dict()
+            # The version bump + invalidation force a re-encode.
+            assert stats["serialization_builds"] == 2
+
+    def test_metrics_snapshot_includes_cache_section(self, city):
+        store = TileStore.build(city, tile_size=150.0)
+        server = MapDistributionServer(city.copy())
+        with MapService(server, store, n_workers=2) as service:
+            tile = store.tiles()[0]
+            service.request(GetTile(tile, encoded=True))
+            service.request(GetTile(tile, encoded=True))
+            snap = service.metrics.snapshot()
+            assert snap["cache"]["serialization_builds"] == 1
+            assert snap["cache"]["serialization_hits"] == 1
+            assert snap["cache"]["misses"] >= 1
+
+
+def _fixture_boundaries(city, pose):
+    from repro.perf.suite import _fixture_boundaries as fixture
+    return fixture(city, pose)
