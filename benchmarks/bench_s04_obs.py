@@ -1,0 +1,86 @@
+"""S4 — Observability overhead: tracing must be ~free on the hot path.
+
+The tracing layer's cost model (see ``repro.obs.trace``) promises that a
+disabled tracer costs one attribute check per instrumentation point and
+that production-style sampling (1%) stays under 5% median overhead on
+the ``GetTile`` hot path. This bench certifies both with the existing
+``repro.perf`` runner: one warmed MapService, bursts of
+``REQUESTS_PER_ITER`` concurrent GetTile requests per timed iteration
+(so thread-handoff jitter averages out), swept across tracing disabled,
+1% sampling, and 100% sampling. Configurations are interleaved round-
+robin — one burst per configuration per round — so slow machine drift
+(frequency scaling, competing load) hits all three equally instead of
+biasing whichever sweep ran last.
+"""
+
+import itertools
+
+from conftest import once
+
+from repro.core.tiles import TileId
+from repro.eval import ResultTable
+from repro.obs import TRACER
+from repro.perf import run_bench
+from repro.serve import GetTile, MapService
+from repro.storage import TileStore
+from repro.update.distribution import MapDistributionServer
+from repro.world import generate_grid_city
+
+REQUESTS_PER_ITER = 200
+ROUNDS = 30
+
+CONFIGS = (("disabled", False, 1.0),
+           ("sampled_1pct", True, 0.01),
+           ("sampled_100pct", True, 1.0))
+
+
+def _experiment(rng):
+    world = generate_grid_city(rng, blocks_x=3, blocks_y=2,
+                               block_size=150.0)
+    server = MapDistributionServer(world.copy())
+    store = TileStore.build(world, tile_size=250.0)
+    tiles = store.tiles() or [TileId(0, 0)]
+    cycle = list(itertools.islice(itertools.cycle(tiles),
+                                  REQUESTS_PER_ITER))
+    results = {}
+    with MapService(server, store, n_workers=2,
+                    tiles_per_shard=len(tiles) + 1) as service:
+
+        def burst():
+            futures = [service.submit(GetTile(tile)) for tile in cycle]
+            for future in futures:
+                future.result()
+
+        for label, enabled, rate in CONFIGS:
+            results[label] = run_bench(
+                f"serve.gettile.{label}", burst, repetitions=1, warmup=2)
+            results[label].samples_s.clear()  # warmup only; timed below
+        for _ in range(ROUNDS):
+            for label, enabled, rate in CONFIGS:
+                TRACER.configure(enabled=enabled, sample_rate=rate,
+                                 capacity=65536, reset=True)
+                one = run_bench(f"serve.gettile.{label}", burst,
+                                repetitions=1, warmup=0)
+                results[label].samples_s.extend(one.samples_s)
+        TRACER.configure(enabled=False, reset=True)
+    return results
+
+
+def test_s04_tracing_overhead(benchmark, rng):
+    results = once(benchmark, _experiment, rng)
+    disabled = results["disabled"].median_s
+    sampled = results["sampled_1pct"].median_s
+    full = results["sampled_100pct"].median_s
+
+    table = ResultTable("S4", "observability overhead on GetTile")
+    table.add(f"median burst ({REQUESTS_PER_ITER} reqs), tracing off",
+              "reported", f"{1e3 * disabled:.2f} ms", ok=disabled > 0)
+    table.add("overhead at 1% sampling", "< 5%",
+              f"{100 * (sampled / disabled - 1):+.1f}% "
+              f"({1e3 * sampled:.2f} ms)",
+              ok=sampled <= 1.05 * disabled)
+    table.add("overhead at 100% sampling", "reported",
+              f"{100 * (full / disabled - 1):+.1f}% "
+              f"({1e3 * full:.2f} ms)", ok=full > 0)
+    table.print()
+    assert table.all_ok()

@@ -10,6 +10,10 @@ Usage::
     python -m repro ingest-bench city.json --workers 1,4 --vehicles 4
     python -m repro taxonomy
     python -m repro perf-bench --out BENCH_PERF.json
+    python -m repro obs export city.json --format prometheus
+    python -m repro obs trace --input spans.jsonl [--trace-id ID]
+    python -m repro obs top --input spans.jsonl
+    python -m repro obs smoke city.json
 """
 
 from __future__ import annotations
@@ -123,11 +127,31 @@ def _parse_worker_list(text: str) -> List[int]:
             f"expected comma-separated worker counts, got {text!r}") from None
 
 
+def _trace_sample_setup(args: argparse.Namespace) -> bool:
+    """Enable tracing when the bench asked for a span dump."""
+    if not getattr(args, "trace_sample", None):
+        return False
+    from repro.obs import configure_tracing
+    configure_tracing(enabled=True, sample_rate=args.trace_sample_rate,
+                      capacity=65536, reset=True)
+    return True
+
+
+def _trace_sample_dump(args: argparse.Namespace) -> None:
+    from repro.obs import TRACER
+    n = TRACER.recorder.dump_jsonl(args.trace_sample)
+    print(f"wrote {n} spans "
+          f"({len(TRACER.recorder.trace_ids())} traces, "
+          f"sample rate {args.trace_sample_rate}) -> {args.trace_sample}")
+    TRACER.configure(enabled=False)
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve import FleetSimulator, MapService
     from repro.storage import TileStore, load_map
     from repro.update.distribution import MapDistributionServer
 
+    tracing = _trace_sample_setup(args)
     hdmap = load_map(args.map)
     store = TileStore.build(hdmap, tile_size=args.tile_size)
     print(f"serving {hdmap.name}: {len(store.tiles())} tiles, "
@@ -148,7 +172,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                                    n_vehicles=args.vehicles,
                                    route_length_m=args.route,
                                    sync_every=5, ingest_every=7,
-                                   seed=args.seed)
+                                   seed=args.seed, trace_requests=tracing)
             report = fleet.run()
         query = report.latency.get("SpatialQuery", {})
         consistent = report.consistency_violations == 0 \
@@ -158,6 +182,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"{1e3 * query.get('p95_s', 0.0):>6.1f} ms  "
               f"{report.shed_total:>5}  {report.rejected_total:>8}  "
               f"{'yes' if consistent else 'NO':>10}")
+    if tracing:
+        _trace_sample_dump(args)
     return 0
 
 
@@ -170,6 +196,7 @@ def _cmd_ingest_bench(args: argparse.Namespace) -> int:
     from repro.update.distribution import MapDistributionServer
     from repro.world.scenario import ChangeSpec, apply_changes
 
+    tracing = _trace_sample_setup(args)
     hdmap = load_map(args.map)
     rng = np.random.default_rng(args.seed)
     scenario = apply_changes(
@@ -222,6 +249,163 @@ def _cmd_ingest_bench(args: argparse.Namespace) -> int:
               f"{report.deduplicated:>6}  "
               f"{stats['batches']['dead_letters']:>4}  "
               f"{1e3 * stats['freshness']['p95_s']:>6.1f} ms")
+    if tracing:
+        _trace_sample_dump(args)
+    return 0
+
+
+def _obs_workload(map_path: str, seed: int):
+    """Run one small fully-traced serve+ingest workload.
+
+    Everything registers into one :class:`MetricsRegistry` (serve, ingest,
+    perf kernels, log counters); tracing runs at sample rate 1.0 into a
+    ring large enough that nothing wraps. Returns the registry — the
+    recorder/event log are the global ones on ``repro.obs``.
+    """
+    from repro.ingest import FleetObservationSource, IngestPipeline
+    from repro.obs import (
+        EVENT_LOG,
+        MetricsRegistry,
+        configure_tracing,
+        register_perf_registry,
+    )
+    from repro.perf.instrument import REGISTRY as PERF_REGISTRY
+    from repro.serve import FleetSimulator, MapService
+    from repro.storage import TileStore, load_map
+    from repro.update.distribution import MapDistributionServer
+    from repro.world.scenario import ChangeSpec, apply_changes
+
+    hdmap = load_map(map_path)
+    rng = np.random.default_rng(seed)
+    scenario = apply_changes(
+        hdmap, ChangeSpec(remove_signs=1, add_signs=1), rng)
+
+    registry = MetricsRegistry()
+    EVENT_LOG.register_into(registry)
+    configure_tracing(enabled=True, sample_rate=1.0, capacity=65536,
+                      reset=True)
+    PERF_REGISTRY.enable()
+    register_perf_registry(registry, PERF_REGISTRY)
+
+    server = MapDistributionServer(scenario.prior.copy())
+    store = TileStore.build(scenario.prior, tile_size=250.0)
+    pipe = IngestPipeline(server, tile_size=250.0, n_workers=2)
+    pipe.register_into(registry)
+    source = FleetObservationSource(scenario, n_vehicles=2,
+                                    route_length_m=600.0, step_s=1.0,
+                                    seed=seed)
+    with pipe:
+        source.run(pipe.submit)
+        pipe.drain(30.0)
+    service = MapService(server, store, n_workers=2, registry=registry)
+    with service:
+        FleetSimulator(service, scenario.prior, n_vehicles=2,
+                       route_length_m=400.0, sync_every=3, ingest_every=5,
+                       seed=seed, trace_requests=True).run()
+    PERF_REGISTRY.disable()
+    return registry
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    registry = _obs_workload(args.map, args.seed)
+    if args.format == "json":
+        print(registry.to_json())
+    else:
+        print(registry.to_prometheus(), end="")
+    from repro.obs import TRACER
+    TRACER.configure(enabled=False)
+    return 0
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    from repro.obs import format_trace, load_spans_jsonl
+
+    spans = load_spans_jsonl(args.input)
+    by_trace: dict = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+    if not by_trace:
+        print("(no spans)")
+        return 0
+    if args.trace_id is not None:
+        if args.trace_id not in by_trace:
+            print(f"trace {args.trace_id!r} not found "
+                  f"({len(by_trace)} traces in {args.input})",
+                  file=sys.stderr)
+            return 1
+        wanted = [args.trace_id]
+    else:
+        wanted = list(by_trace)[:args.limit]
+    for trace_id in wanted:
+        print(f"trace {trace_id} ({len(by_trace[trace_id])} spans)")
+        print(format_trace(by_trace[trace_id]))
+        print()
+    print(f"{len(by_trace)} trace(s), {len(spans)} span(s) total")
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from collections import defaultdict
+
+    from repro.obs import load_spans_jsonl
+
+    spans = load_spans_jsonl(args.input)
+    agg = defaultdict(lambda: [0, 0.0, 0.0])  # count, total_s, max_s
+    for span in spans:
+        entry = agg[span["name"]]
+        duration = float(span.get("duration_s") or 0.0)
+        entry[0] += 1
+        entry[1] += duration
+        entry[2] = max(entry[2], duration)
+    header = (f"{'span':<28} {'count':>6} {'total':>10} "
+              f"{'mean':>10} {'max':>10}")
+    print(header)
+    print("-" * len(header))
+    ranked = sorted(agg.items(), key=lambda kv: kv[1][1], reverse=True)
+    for name, (count, total, peak) in ranked[:args.limit]:
+        print(f"{name:<28} {count:>6} {1e3 * total:>8.2f}ms "
+              f"{1e3 * total / count:>8.3f}ms {1e3 * peak:>8.3f}ms")
+    return 0
+
+
+def _cmd_obs_smoke(args: argparse.Namespace) -> int:
+    """CI gate: traced workload, valid export, no broken spans."""
+    from repro.obs import TRACER, validate_prometheus_text, verify_spans
+
+    registry = _obs_workload(args.map, args.seed)
+    failures: List[str] = []
+
+    text = registry.to_prometheus()
+    failures += [f"prometheus: {p}" for p in validate_prometheus_text(text)]
+    from repro.obs.metrics import _prom_name
+    exported = {line.split("{")[0].split(" ")[0]
+                for line in text.splitlines()
+                if line and not line.startswith("#")}
+    for name in registry.names():
+        pname = _prom_name(name)
+        if not any(e == pname or e.startswith(pname + "_")
+                   for e in exported):
+            failures.append(f"metric {name!r} missing from export")
+    for prefix in ("serve.", "ingest.", "perf.", "log."):
+        if not any(n.startswith(prefix) for n in registry.names()):
+            failures.append(f"no {prefix}* metrics registered")
+
+    spans = [s.as_dict() for s in TRACER.recorder.spans()]
+    if not spans:
+        failures.append("no spans recorded")
+    failures += [f"trace: {p}" for p in verify_spans(spans)]
+    if TRACER.recorder.dropped:
+        failures.append(
+            f"span ring wrapped ({TRACER.recorder.dropped} dropped)")
+
+    n_traces = len(TRACER.recorder.trace_ids())
+    TRACER.configure(enabled=False)
+    if failures:
+        for failure in failures:
+            print(f"OBS SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print(f"obs smoke passed: {len(registry.names())} metrics exported, "
+          f"{len(spans)} spans across {n_traces} traces, all parented")
     return 0
 
 
@@ -322,6 +506,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--storage-latency-ms", type=float, default=2.0,
                        help="simulated blob-fetch cost on tile cache misses")
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--trace-sample", metavar="PATH",
+                       help="enable tracing and dump sampled spans (JSONL)")
+    bench.add_argument("--trace-sample-rate", type=float, default=0.05,
+                       help="root-span sampling rate with --trace-sample")
     bench.set_defaults(func=_cmd_serve_bench)
 
     ingest = sub.add_parser(
@@ -347,7 +535,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulated per-batch I/O cost in the pipeline")
     ingest.add_argument("--tile-size", type=float, default=250.0)
     ingest.add_argument("--seed", type=int, default=7)
+    ingest.add_argument("--trace-sample", metavar="PATH",
+                        help="enable tracing and dump sampled spans (JSONL)")
+    ingest.add_argument("--trace-sample-rate", type=float, default=0.05,
+                        help="root-span sampling rate with --trace-sample")
     ingest.set_defaults(func=_cmd_ingest_bench)
+
+    obs = sub.add_parser(
+        "obs", help="unified observability: export, traces, smoke gate")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="run a traced workload and export the unified registry")
+    obs_export.add_argument("map")
+    obs_export.add_argument("--format", choices=("prometheus", "json"),
+                            default="prometheus")
+    obs_export.add_argument("--seed", type=int, default=0)
+    obs_export.set_defaults(func=_cmd_obs_export)
+
+    obs_trace = obs_sub.add_parser(
+        "trace", help="render span trees from a JSONL span dump")
+    obs_trace.add_argument("--input", required=True,
+                           help="span dump (from --trace-sample or "
+                                "SpanRecorder.dump_jsonl)")
+    obs_trace.add_argument("--trace-id", help="render one specific trace")
+    obs_trace.add_argument("--limit", type=int, default=3,
+                           help="max traces to render without --trace-id")
+    obs_trace.set_defaults(func=_cmd_obs_trace)
+
+    obs_top = obs_sub.add_parser(
+        "top", help="rank span names by total time from a span dump")
+    obs_top.add_argument("--input", required=True)
+    obs_top.add_argument("--limit", type=int, default=15)
+    obs_top.set_defaults(func=_cmd_obs_top)
+
+    obs_smoke = obs_sub.add_parser(
+        "smoke",
+        help="CI gate: traced workload, valid Prometheus export, "
+             "no unparented/unfinished spans")
+    obs_smoke.add_argument("map")
+    obs_smoke.add_argument("--seed", type=int, default=0)
+    obs_smoke.set_defaults(func=_cmd_obs_smoke)
 
     tax = sub.add_parser("taxonomy", help="print Table I with coverage")
     tax.set_defaults(func=_cmd_taxonomy)

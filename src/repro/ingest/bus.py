@@ -32,7 +32,11 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from repro.core.tiles import TileId, TileScheme
 from repro.errors import IngestError
 from repro.ingest.observation import Observation, ObservationBatch
-from repro.serve.metrics import Counter
+from repro.obs.log import get_logger
+from repro.obs.metrics import Counter
+from repro.obs.trace import TRACER
+
+_log = get_logger("ingest.bus")
 
 
 class _Partition:
@@ -106,6 +110,23 @@ class ObservationBus:
             if len(part.pending) >= self.capacity_per_partition:
                 part.pending.popleft()
                 self.shed_oldest.add()
+                _log.warning("observation_shed",
+                             partition=self.partition_of(tile),
+                             capacity=self.capacity_per_partition)
+            if TRACER.enabled:
+                # Stamp the observation with a trace identity: a child of
+                # the caller's active trace, or a fresh sampled root. The
+                # enqueue span itself is instantaneous — the queue wait is
+                # reconstructed by the pipeline as an `ingest.wait` span.
+                cm = (TRACER.span("ingest.enqueue")
+                      if TRACER.current() is not None
+                      else TRACER.start_trace("ingest.enqueue"))
+                with cm as sp:
+                    if sp.context is not None:
+                        sp.set("vehicle", obs.vehicle)
+                        sp.set("seq", obs.seq)
+                        sp.set("tile", str(tile))
+                        obs.trace_ctx = sp.context
             obs.enqueued_at = self._clock()
             part.pending.append(obs)
             self.published.add()

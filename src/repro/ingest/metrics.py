@@ -1,49 +1,38 @@
 """End-to-end observability of the ingestion pipeline.
 
-Reuses the serving layer's thread-safe :class:`Counter` and
-:class:`LatencyHistogram` primitives and adds the two surfaces the
-maintenance loop needs: per-stage latency histograms (where in
-validate -> associate -> fuse -> classify -> emit does time go) and the
-*map-freshness lag* — the wall time from an observation entering the bus
-to the moment its confirmed patch is visible to ``ChangesSince`` on the
-serving layer. Freshness is the metric the whole subsystem exists to
-drive down; it is also mirrored into
+Reuses the shared thread-safe :class:`Counter` / :class:`Gauge` /
+:class:`LatencyHistogram` primitives from :mod:`repro.obs.metrics`
+(``Gauge`` used to be defined here and is re-exported for backward
+compatibility) and adds the two surfaces the maintenance loop needs:
+per-stage latency histograms (where in validate -> associate -> fuse ->
+classify -> emit does time go), kept *per worker* and aggregated with
+:meth:`LatencyHistogram.merge` at export time, and the *map-freshness
+lag* — the wall time from an observation entering the bus to the moment
+its confirmed patch is visible to ``ChangesSince`` on the serving
+layer. Freshness is the metric the whole subsystem exists to drive
+down; it is also mirrored into
 :class:`~repro.serve.metrics.ServiceMetrics` when the publisher is wired
-to a service, so one dashboard shows both sides of the loop.
+to a service, so one dashboard shows both sides of the loop. The whole
+aggregate registers into a
+:class:`~repro.obs.metrics.MetricsRegistry` under canonical
+``ingest.*`` names via :meth:`IngestMetrics.register_into`.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.serve.metrics import (
+from repro.obs.metrics import (  # noqa: F401  (compatibility re-exports)
     FRESHNESS_BOUNDS,
     Counter,
+    Gauge,
     LatencyHistogram,
+    MetricsRegistry,
 )
 
 #: Stage latencies are short (in-process work): 10 us .. 1 s, then +inf.
 STAGE_BOUNDS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1.0)
-
-
-class Gauge:
-    """A thread-safe last-value gauge (queue depths, in-flight counts)."""
-
-    __slots__ = ("_lock", "_value")
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._value = 0
-
-    def set(self, value: int) -> None:
-        with self._lock:
-            self._value = value
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
 
 
 class IngestMetrics:
@@ -51,7 +40,10 @@ class IngestMetrics:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._stage_latency: Dict[str, LatencyHistogram] = {}
+        # (stage, worker) -> histogram; worker None is the shared series
+        # used by callers that predate per-worker attribution.
+        self._stage_latency: Dict[Tuple[str, Optional[int]],
+                                  LatencyHistogram] = {}
         self.freshness = LatencyHistogram(FRESHNESS_BOUNDS)
         # consumer-side (producer-side counts live on the ObservationBus
         # and are merged into the export by IngestPipeline.stats())
@@ -68,16 +60,36 @@ class IngestMetrics:
         self.queue_depth: Dict[int, Gauge] = {}
         self.in_flight = Gauge()
 
-    def stage_histogram(self, stage: str) -> LatencyHistogram:
+    def stage_histogram(self, stage: str,
+                        worker: Optional[int] = None) -> LatencyHistogram:
+        """The per-worker histogram of one stage (lazily created)."""
+        key = (stage, worker)
         with self._lock:
-            hist = self._stage_latency.get(stage)
+            hist = self._stage_latency.get(key)
             if hist is None:
-                hist = self._stage_latency[stage] = \
+                hist = self._stage_latency[key] = \
                     LatencyHistogram(STAGE_BOUNDS)
             return hist
 
-    def record_stage(self, stage: str, seconds: float) -> None:
-        self.stage_histogram(stage).record(seconds)
+    def record_stage(self, stage: str, seconds: float,
+                     worker: Optional[int] = None) -> None:
+        self.stage_histogram(stage, worker).record(seconds)
+
+    def stage_names(self) -> List[str]:
+        with self._lock:
+            return sorted({stage for stage, _ in self._stage_latency})
+
+    def merged_stage_histogram(self, stage: str) -> LatencyHistogram:
+        """All workers' histograms of ``stage`` folded into one
+        (:meth:`LatencyHistogram.merge` — bounds are uniform here by
+        construction)."""
+        with self._lock:
+            parts = [hist for (name, _), hist in self._stage_latency.items()
+                     if name == stage]
+        merged = LatencyHistogram(STAGE_BOUNDS)
+        for part in parts:
+            merged.merge(part)
+        return merged
 
     def record_freshness(self, lag_s: float) -> None:
         self.freshness.record(lag_s)
@@ -93,13 +105,17 @@ class IngestMetrics:
         return self.freshness.percentile(95.0)
 
     def as_dict(self) -> Dict[str, object]:
-        """Consistent point-in-time export for dashboards/CLI output."""
+        """Consistent point-in-time export for dashboards/CLI output.
+
+        ``stage_latency`` aggregates every worker's series per stage via
+        :meth:`merged_stage_histogram`, so the shape is unchanged from
+        the pre-per-worker days.
+        """
         with self._lock:
-            stages: List[str] = sorted(self._stage_latency)
             depths = {p: g.value for p, g in sorted(self.queue_depth.items())}
         return {
-            "stage_latency": {s: self.stage_histogram(s).snapshot()
-                              for s in stages},
+            "stage_latency": {s: self.merged_stage_histogram(s).snapshot()
+                              for s in self.stage_names()},
             "freshness": self.freshness.snapshot(),
             "queue_depth": depths,
             "in_flight": self.in_flight.value,
@@ -118,3 +134,47 @@ class IngestMetrics:
                 "conflicted": self.patches_conflicted.value,
             },
         }
+
+    # -- unified registry ----------------------------------------------
+    def register_into(self, registry: MetricsRegistry,
+                      prefix: str = "ingest") -> None:
+        """Register under canonical ``<prefix>.*`` names:
+
+        - ``ingest.observations.processed``, ``ingest.batches.*``,
+          ``ingest.patches.*`` (counters)
+        - ``ingest.freshness`` (histogram)
+        - ``ingest.in_flight``, ``ingest.queue_depth.<partition>``
+          (gauges, partitions via collector)
+        - ``ingest.stage.<stage>`` (merged-across-workers histograms,
+          via collector because stages/workers appear lazily)
+        """
+        registry.register(f"{prefix}.observations.processed",
+                          self.observations_processed)
+        registry.register(f"{prefix}.batches.processed",
+                          self.batches_processed)
+        registry.register(f"{prefix}.batches.retries", self.batch_retries)
+        registry.register(f"{prefix}.batches.dead_letters",
+                          self.dead_letters)
+        registry.register(f"{prefix}.batches.worker_restarts",
+                          self.worker_restarts)
+        registry.register(f"{prefix}.patches.published",
+                          self.patches_published)
+        registry.register(f"{prefix}.patches.duplicate_suppressed",
+                          self.patches_duplicate)
+        registry.register(f"{prefix}.patches.conflicted",
+                          self.patches_conflicted)
+        registry.register(f"{prefix}.freshness", self.freshness)
+        registry.register(f"{prefix}.in_flight", self.in_flight)
+
+        def collect() -> Dict[str, object]:
+            out: Dict[str, object] = {}
+            for stage in self.stage_names():
+                out[f"{prefix}.stage.{stage}"] = \
+                    self.merged_stage_histogram(stage)
+            with self._lock:
+                depths = dict(self.queue_depth)
+            for partition, gauge in depths.items():
+                out[f"{prefix}.queue_depth.{partition}"] = gauge
+            return out
+
+        registry.register_collector(collect)

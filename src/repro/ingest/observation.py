@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 from repro.core.ids import ElementId
 from repro.core.tiles import TileId
 from repro.errors import IngestError
+from repro.obs.trace import TraceContext
 
 
 class ObservationKind:
@@ -54,6 +55,9 @@ class Observation:
     element_id: Optional[ElementId] = None
     sign_type: str = "direction"
     enqueued_at: float = 0.0  # stamped by the bus at publish time
+    #: trace identity stamped by the bus (sampled observations only);
+    #: pipeline stages continue the trace from it across worker threads.
+    trace_ctx: Optional[TraceContext] = None
 
     @property
     def dedup_key(self) -> Tuple[str, int]:
@@ -105,6 +109,15 @@ class ObservationBatch:
         if not self.observations:
             return 0.0
         return min(o.enqueued_at for o in self.observations)
+
+    @property
+    def trace_ctx(self) -> Optional[TraceContext]:
+        """Trace context of the first sampled observation in the batch
+        (the batch's stage spans attach to that observation's trace)."""
+        for obs in self.observations:
+            if obs.trace_ctx is not None:
+                return obs.trace_ctx
+        return None
 
     def __len__(self) -> int:
         return len(self.observations)

@@ -32,6 +32,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.tiles import TileId
 from repro.ingest.bus import ObservationBus
 from repro.ingest.metrics import IngestMetrics
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACER
 from repro.ingest.observation import Observation, ObservationBatch
 from repro.ingest.publisher import PatchPublisher
 from repro.ingest.stages import (
@@ -51,6 +54,9 @@ from repro.update.distribution import ConflictPolicy, MapDistributionServer
 from repro.update.incremental_fusion import IncrementalFuser
 
 
+_log = get_logger("ingest.pipeline")
+
+
 class DeadLetterQueue:
     """Terminal parking lot for poison batches, journaled for forensics."""
 
@@ -60,6 +66,10 @@ class DeadLetterQueue:
         self._batches: List[Tuple[ObservationBatch, str]] = []
 
     def push(self, batch: ObservationBatch, reason: str) -> None:
+        _log.error("batch_dead_lettered", batch_id=batch.batch_id,
+                   tile=str(batch.tile), partition=batch.partition,
+                   attempts=batch.attempts, observations=len(batch),
+                   reason=reason)
         self.journal.append({
             "batch_id": batch.batch_id,
             "tile": str(batch.tile),
@@ -258,20 +268,21 @@ class IngestPipeline:
             for p in partitions:
                 batch = self.bus.poll(p, self.max_batch, timeout=0.01)
                 if batch is not None:
-                    self._deliver(batch)
+                    self._deliver(batch, worker_idx)
                     progressed = True
             if self._closing and not progressed and \
                     all(self.bus.partition_drained(p) for p in partitions):
                 return
 
-    def _deliver(self, batch: ObservationBatch) -> None:
+    def _deliver(self, batch: ObservationBatch,
+                 worker_idx: Optional[int] = None) -> None:
         # The hook runs un-guarded on purpose: an exception here escapes
         # the loop and kills the worker (a simulated crash), leaving the
         # batch leased so the supervisor redelivers it.
         if self.delivery_hook is not None:
             self.delivery_hook(batch)
         try:
-            self._process(batch)
+            self._process(batch, worker_idx)
         except Exception as exc:
             # Stage failure: retry with exponential backoff, then DLQ.
             if batch.attempts + 1 >= self.max_attempts:
@@ -282,27 +293,51 @@ class IngestPipeline:
                 delay = self.backoff_base_s * (2 ** batch.attempts)
                 self.bus.nack(batch, delay)
                 self.metrics.batch_retries.add()
+                _log.warning("batch_retry", batch_id=batch.batch_id,
+                             tile=str(batch.tile), attempt=batch.attempts,
+                             backoff_s=round(delay, 6),
+                             error=f"{type(exc).__name__}: {exc}")
             return
         self.bus.ack(batch)
         self.metrics.batches_processed.add()
         self.metrics.observations_processed.add(len(batch))
 
-    def _process(self, batch: ObservationBatch) -> None:
-        if self.stage_latency_s > 0:
-            time.sleep(self.stage_latency_s)  # modelled I/O (GIL released)
-        state = self._state_for(batch.tile)
-        carry: dict = {}
-        for stage in self.stages:
-            t0 = self._clock()
-            stage.process(state, batch, carry)
-            self.metrics.record_stage(stage.name, self._clock() - t0)
-        for confirmed in carry.get(_PATCHES, []):
-            self.publisher.publish(confirmed)
+    def _process(self, batch: ObservationBatch,
+                 worker_idx: Optional[int] = None) -> None:
+        ctx = batch.trace_ctx
+        if ctx is not None:
+            # Reconstruct the queue wait as its own (backdated) span, so a
+            # trace dump accounts for the full enqueue-to-publish lag.
+            with TRACER.continue_from(ctx, "ingest.wait",
+                                      start_s=batch.enqueued_at):
+                pass
+        with TRACER.continue_from(ctx, "ingest.batch") as bspan:
+            if bspan.context is not None:
+                bspan.set("batch_id", batch.batch_id)
+                bspan.set("tile", str(batch.tile))
+                bspan.set("observations", len(batch))
+                bspan.set("attempt", batch.attempts)
+                if worker_idx is not None:
+                    bspan.set("worker", worker_idx)
+            if self.stage_latency_s > 0:
+                time.sleep(self.stage_latency_s)  # modelled I/O (GIL released)
+            state = self._state_for(batch.tile)
+            carry: dict = {}
+            for stage in self.stages:
+                t0 = self._clock()
+                with TRACER.span(f"ingest.stage.{stage.name}"):
+                    stage.process(state, batch, carry)
+                self.metrics.record_stage(stage.name, self._clock() - t0,
+                                          worker=worker_idx)
+            for confirmed in carry.get(_PATCHES, []):
+                self.publisher.publish(confirmed)
 
     # -- supervision ----------------------------------------------------
     def _supervise(self) -> None:
         while not self._stop_event.is_set():
-            self.bus.redeliver_expired()
+            redelivered = self.bus.redeliver_expired()
+            if redelivered:
+                _log.warning("leases_redelivered", batches=redelivered)
             for p in range(self.n_partitions):
                 self.metrics.depth_gauge(p).set(self.bus.depth(p))
             self.metrics.in_flight.set(self.bus.in_flight())
@@ -310,10 +345,23 @@ class IngestPipeline:
                 for i, t in enumerate(self._workers):
                     if t is not None and not t.is_alive():
                         self.metrics.worker_restarts.add()
+                        _log.error("worker_restarted", worker=i)
                         self._spawn_worker(i)
             self._stop_event.wait(self.supervisor_tick_s)
 
     # -- observability --------------------------------------------------
+    def register_into(self, registry: MetricsRegistry,
+                      prefix: str = "ingest") -> None:
+        """Register pipeline + bus metrics under canonical dotted names."""
+        self.metrics.register_into(registry, prefix)
+        registry.register(f"{prefix}.bus.published", self.bus.published)
+        registry.register(f"{prefix}.bus.deduplicated",
+                          self.bus.deduplicated)
+        registry.register(f"{prefix}.bus.shed_oldest", self.bus.shed_oldest)
+        registry.register(f"{prefix}.bus.redelivered", self.bus.redelivered)
+        registry.register(f"{prefix}.bus.acked_batches",
+                          self.bus.acked_batches)
+
     def stats(self) -> Dict[str, object]:
         """Pipeline metrics merged with the bus's producer-side counters."""
         out = self.metrics.as_dict()

@@ -25,12 +25,16 @@ from typing import Callable, List, Optional, Set, Tuple
 
 from repro.core.versioning import MapPatch
 from repro.ingest.metrics import IngestMetrics
+from repro.obs.log import get_logger
+from repro.obs.trace import TRACER
 from repro.serve.metrics import ServiceMetrics
 from repro.update.distribution import (
     ConflictPolicy,
     IngestResult,
     MapDistributionServer,
 )
+
+_log = get_logger("ingest.publisher")
 
 
 @dataclass
@@ -113,6 +117,19 @@ class PatchPublisher:
         Keys are only recorded for *accepted* patches — a patch rejected
         by the conflict policy may legitimately be retried later.
         """
+        span = TRACER.span("ingest.publish")
+        if span.context is None:
+            return self._publish(confirmed)
+        with span:
+            out = self._publish(confirmed)
+            span.set("key", confirmed.key)
+            span.set("published", out.published)
+            span.set("duplicate", out.duplicate)
+            if out.version is not None:
+                span.set("version", out.version)
+            return out
+
+    def _publish(self, confirmed: ConfirmedPatch) -> PublishResult:
         with self._lock:
             if confirmed.key in self._published_keys or \
                     self._conflated_add(confirmed.patch):
@@ -126,6 +143,8 @@ class PatchPublisher:
         if not result.accepted:
             if self.metrics is not None:
                 self.metrics.patches_conflicted.add()
+            _log.warning("patch_conflicted", key=confirmed.key,
+                         reason=result.reason or "")
             return PublishResult(False, False, None, result)
         if self.metrics is not None:
             self.metrics.patches_published.add()

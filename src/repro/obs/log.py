@@ -1,0 +1,159 @@
+"""Structured, leveled, trace-correlated event log.
+
+The serve→ingest loop previously handled its operational events —
+supervisor restarts, dead-letter writes, retries, load shedding —
+silently (a counter bump at best). This module gives every subsystem a
+cheap structured logger::
+
+    _log = get_logger("ingest.pipeline")
+    _log.error("batch_dead_lettered", batch_id=..., tile=..., reason=...)
+
+Events are key-value dicts with a wall-clock stamp, a level, the logger
+name, and — when emitted inside an active trace span — the trace/span
+ids, so a trace dump and the event log can be joined on ``trace_id``.
+Storage is a bounded in-memory ring (thread-safe, no I/O on the hot
+path) plus an optional JSONL sink; per-level counters can be registered
+into a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Import discipline: imports only sibling ``repro.obs`` modules; the
+serving/ingest layers import it, never the reverse.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.trace import TRACER
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+_LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning",
+                ERROR: "error"}
+
+
+class EventLog:
+    """Bounded, thread-safe, structured event store."""
+
+    def __init__(self, capacity: int = 4096, level: int = INFO,
+                 jsonl_path: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.level = level
+        self.jsonl_path = jsonl_path
+        self._lock = threading.Lock()
+        self._events: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self.counts_by_level: Dict[str, Counter] = {
+            name: Counter() for name in _LEVEL_NAMES.values()}
+
+    def log(self, level: int, event: str, logger: str = "",
+            **fields: object) -> Optional[Dict[str, object]]:
+        """Record one event; returns the entry (None when filtered)."""
+        if level < self.level:
+            return None
+        entry: Dict[str, object] = {
+            "ts": time.time(),
+            "level": _LEVEL_NAMES.get(level, str(level)),
+            "logger": logger,
+            "event": event,
+        }
+        ctx = TRACER.current()
+        if ctx is not None:
+            entry["trace_id"] = ctx.trace_id
+            if ctx.span_id is not None:
+                entry["span_id"] = ctx.span_id
+        entry.update(fields)
+        self.counts_by_level[entry["level"]].add()
+        with self._lock:
+            self._events.append(entry)
+        if self.jsonl_path is not None:
+            line = json.dumps(entry, sort_keys=True, default=str)
+            with self._lock:
+                with open(self.jsonl_path, "a", encoding="utf-8") as f:
+                    f.write(line + "\n")
+        return entry
+
+    # -- introspection --------------------------------------------------
+    def events(self, min_level: int = DEBUG,
+               event: Optional[str] = None) -> List[Dict[str, object]]:
+        """Surviving events, optionally filtered by level and event name."""
+        names = {name for lvl, name in _LEVEL_NAMES.items()
+                 if lvl >= min_level}
+        with self._lock:
+            out = list(self._events)
+        return [e for e in out
+                if e["level"] in names and (event is None
+                                            or e["event"] == event)]
+
+    def dump_jsonl(self, path: str) -> int:
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as f:
+            for entry in events:
+                f.write(json.dumps(entry, sort_keys=True, default=str)
+                        + "\n")
+        return len(events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def register_into(self, registry: MetricsRegistry,
+                      prefix: str = "log") -> None:
+        """Expose per-level event counters as ``<prefix>.events.<level>``."""
+        for name, counter in self.counts_by_level.items():
+            registry.register(f"{prefix}.events.{name}", counter)
+
+
+#: Process-wide event log; ``get_logger`` binds names onto this one.
+EVENT_LOG = EventLog()
+
+
+class BoundLogger:
+    """A named front end over an :class:`EventLog`."""
+
+    __slots__ = ("name", "_log")
+
+    def __init__(self, name: str, log: Optional[EventLog] = None) -> None:
+        self.name = name
+        self._log = log if log is not None else EVENT_LOG
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._log.log(DEBUG, event, self.name, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._log.log(INFO, event, self.name, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._log.log(WARNING, event, self.name, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._log.log(ERROR, event, self.name, **fields)
+
+
+def get_logger(name: str, log: Optional[EventLog] = None) -> BoundLogger:
+    """A structured logger writing into the global (or given) event log."""
+    return BoundLogger(name, log)
+
+
+def configure_logging(level: Optional[int] = None,
+                      capacity: Optional[int] = None,
+                      jsonl_path: Optional[str] = None,
+                      reset: bool = False) -> EventLog:
+    """Reconfigure the global :data:`EVENT_LOG` in place."""
+    if capacity is not None:
+        with EVENT_LOG._lock:
+            EVENT_LOG._events = deque(EVENT_LOG._events, maxlen=capacity)
+    if level is not None:
+        EVENT_LOG.level = level
+    if jsonl_path is not None:
+        EVENT_LOG.jsonl_path = jsonl_path
+    if reset:
+        EVENT_LOG.clear()
+    return EVENT_LOG

@@ -22,7 +22,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.core.hdmap import HDMap
 from repro.core.tiles import TileId
 from repro.errors import StorageError
-from repro.serve.metrics import Counter
+from repro.obs.metrics import Counter
+from repro.obs.trace import TRACER
 
 
 class RWLock:
@@ -107,12 +108,23 @@ class ShardedTileCache:
         second install is discarded. The loader runs outside every lock so a
         slow (remote) blob fetch never blocks hits on other tiles.
         """
+        span = TRACER.span("serve.cache.get")
+        if span.context is None:
+            return self._get(tile)[0]
+        with span:
+            value, hit = self._get(tile)
+            span.set("tile", str(tile))
+            span.set("hit", hit)
+            return value
+
+    def _get(self, tile: TileId) -> Tuple[Optional[HDMap], bool]:
+        """(tile, was-a-hit) — the untraced lookup behind :meth:`get`."""
         shard = self._shard_for(tile)
         with shard.lock.read():
             if tile in shard.items:
                 shard.recency[tile] = next(self._clock)
                 self.hits.add()
-                return shard.items[tile]
+                return shard.items[tile], True
         value = self._loader(tile)
         self.misses.add()
         with shard.lock.write():
@@ -126,7 +138,7 @@ class ShardedTileCache:
                     self.evictions.add()
             else:
                 value = shard.items[tile]
-        return value
+        return value, False
 
     def get_encoded(self, tile: TileId, version: int,
                     encoder: Callable[[HDMap], bytes]) -> Optional[bytes]:
@@ -138,6 +150,17 @@ class ShardedTileCache:
         may both encode; the second install is discarded). Returns None for
         tiles the loader does not have.
         """
+        span = TRACER.span("serve.cache.get_encoded")
+        if span.context is None:
+            return self._get_encoded(tile, version, encoder)
+        with span:
+            payload = self._get_encoded(tile, version, encoder)
+            span.set("tile", str(tile))
+            span.set("version", version)
+            return payload
+
+    def _get_encoded(self, tile: TileId, version: int,
+                     encoder: Callable[[HDMap], bytes]) -> Optional[bytes]:
         shard = self._shard_for(tile)
         key = (tile, version)
         with shard.lock.read():

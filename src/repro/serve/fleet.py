@@ -28,7 +28,9 @@ import numpy as np
 from repro.core.elements import SignType, TrafficSign
 from repro.core.hdmap import HDMap
 from repro.core.versioning import MapPatch
-from repro.serve.api import ChangesSince, IngestPatch, SpatialQuery, Status
+from repro.obs.trace import TRACER
+from repro.serve.api import ChangesSince, IngestPatch, Request, Response
+from repro.serve.api import SpatialQuery, Status
 from repro.serve.service import MapService
 from repro.update.distribution import VehicleMapClient
 from repro.world.traffic import drive_route
@@ -79,7 +81,7 @@ class FleetSimulator:
                  n_vehicles: int = 4, route_length_m: float = 2000.0,
                  query_radius_m: float = 60.0, step_s: float = 2.0,
                  sync_every: int = 5, ingest_every: int = 0,
-                 seed: int = 0) -> None:
+                 seed: int = 0, trace_requests: bool = False) -> None:
         if n_vehicles < 1:
             raise ValueError("n_vehicles must be >= 1")
         self.service = service
@@ -91,6 +93,9 @@ class FleetSimulator:
         self.sync_every = sync_every
         self.ingest_every = ingest_every
         self.seed = seed
+        #: when True each vehicle request opens a sampled `fleet.request`
+        #: root span, so end-to-end traces start client-side.
+        self.trace_requests = trace_requests
 
     # ------------------------------------------------------------------
     def _trajectories(self):
@@ -123,6 +128,16 @@ class FleetSimulator:
         else:
             report.errors += 1
 
+    def _request(self, idx: int, request: Request) -> Response:
+        """Issue one request, optionally under a client-side root span."""
+        if not self.trace_requests:
+            return self.service.request(request)
+        with TRACER.start_trace("fleet.request", vehicle=idx,
+                                kind=request.kind) as span:
+            resp = self.service.request(request)
+            span.set("status", resp.status.value)
+            return resp
+
     def _drive(self, idx, trajectory, client: VehicleMapClient,
                report: VehicleReport) -> None:
         rng = np.random.default_rng(self.seed + 13 * idx + 7)
@@ -131,7 +146,7 @@ class FleetSimulator:
                           self.step_s)
         for step, t in enumerate(steps):
             pose = trajectory.pose_at(float(t))
-            resp = self.service.request(SpatialQuery(
+            resp = self._request(idx, SpatialQuery(
                 pose.x, pose.y, self.query_radius_m))
             self._count(report, resp.status)
             if resp.ok:
@@ -140,8 +155,8 @@ class FleetSimulator:
                 last_version = max(last_version, resp.version)
 
             if self.sync_every and step % self.sync_every == 0:
-                resp = self.service.request(
-                    ChangesSince(client.synced_version))
+                resp = self._request(
+                    idx, ChangesSince(client.synced_version))
                 self._count(report, resp.status)
                 if resp.ok:
                     if resp.version < last_version:
@@ -158,7 +173,7 @@ class FleetSimulator:
                     sign_type=SignType.DIRECTION)
                 patch = MapPatch(source=f"vehicle-{idx}",
                                  confidence=0.5).add(sign)
-                resp = self.service.request(IngestPatch(patch))
+                resp = self._request(idx, IngestPatch(patch))
                 self._count(report, resp.status)
                 report.patches_sent += 1
 

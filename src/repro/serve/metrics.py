@@ -1,143 +1,30 @@
 """Serving metrics: thread-safe counters and latency histograms.
 
-Modeled on :class:`~repro.storage.tilestore.TileStoreStats` but built for
-concurrent writers: every mutation happens under a lock, and ``as_dict()``
-exports a consistent point-in-time view for dashboards/CLI output. The
-service keeps one :class:`LatencyHistogram` and a counter per request kind
-plus global admission counters, which together give the per-request-type
-latency distribution, QPS, and error/shed rates of a run.
+The primitives (:class:`Counter`, :class:`Gauge`,
+:class:`LatencyHistogram`, and the shared bucket bounds) live in
+:mod:`repro.obs.metrics` — the unified observability layer — and are
+re-exported here for backward compatibility; this module keeps the
+serving-specific :class:`ServiceMetrics` aggregate. The service keeps
+one :class:`LatencyHistogram` and a counter per request kind plus global
+admission counters, which together give the per-request-type latency
+distribution, QPS, and error/shed rates of a run, and the whole
+aggregate can be registered into a
+:class:`~repro.obs.metrics.MetricsRegistry` under canonical
+``serve.*`` names via :meth:`ServiceMetrics.register_into`.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
-
-class Counter:
-    """A thread-safe monotonically increasing counter."""
-
-    __slots__ = ("_lock", "_value")
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._value = 0
-
-    def add(self, n: int = 1) -> None:
-        with self._lock:
-            self._value += n
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-#: Log-spaced bucket upper bounds (seconds): 0.1 ms .. 10 s, then +inf.
-DEFAULT_BOUNDS: Tuple[float, ...] = (
-    0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
-)
-
-
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with quantile estimates.
-
-    Quantiles are resolved to the upper bound of the containing bucket
-    (a conservative estimate), which is what fleet SLO reporting wants —
-    but the exact observed min/max are tracked alongside the buckets, and
-    every quantile is clamped to the observed max so sparse data (one
-    sample per bucket) is not overstated by a whole bucket width.
-    """
-
-    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
-        self.bounds: Tuple[float, ...] = tuple(bounds or DEFAULT_BOUNDS)
-        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
-            raise ValueError("histogram bounds must be sorted and non-empty")
-        self._lock = threading.Lock()
-        self._counts: List[int] = [0] * (len(self.bounds) + 1)
-        self._total_s = 0.0
-        self._count = 0
-        self._min_s = float("inf")
-        self._max_s = 0.0
-
-    def record(self, seconds: float) -> None:
-        idx = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if seconds <= bound:
-                idx = i
-                break
-        with self._lock:
-            self._counts[idx] += 1
-            self._total_s += seconds
-            self._count += 1
-            if seconds < self._min_s:
-                self._min_s = seconds
-            if seconds > self._max_s:
-                self._max_s = seconds
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    @property
-    def mean_s(self) -> float:
-        with self._lock:
-            return self._total_s / self._count if self._count else 0.0
-
-    @property
-    def min_s(self) -> float:
-        """Exact smallest recorded latency (0.0 when empty)."""
-        with self._lock:
-            return self._min_s if self._count else 0.0
-
-    @property
-    def max_s(self) -> float:
-        """Exact largest recorded latency (0.0 when empty)."""
-        with self._lock:
-            return self._max_s
-
-    def percentile(self, q: float) -> float:
-        """Upper bound of the bucket containing the q-th percentile,
-        clamped to the exact observed maximum."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError("percentile must be in [0, 100]")
-        with self._lock:
-            counts = list(self._counts)
-            total = self._count
-            max_s = self._max_s
-        if total == 0:
-            return 0.0
-        rank = q / 100.0 * total
-        running = 0
-        for i, c in enumerate(counts):
-            running += c
-            if running >= rank:
-                bound = self.bounds[i] if i < len(self.bounds) \
-                    else float("inf")
-                return min(bound, max_s)
-        return max_s
-
-    def snapshot(self) -> Dict[str, float]:
-        """Point-in-time export: count, mean, quantiles, exact min/max."""
-        return {
-            "count": self.count,
-            "mean_s": self.mean_s,
-            "min_s": self.min_s,
-            "max_s": self.max_s,
-            "p50_s": self.percentile(50.0),
-            "p95_s": self.percentile(95.0),
-            "p99_s": self.percentile(99.0),
-        }
-
-    def as_dict(self) -> Dict[str, float]:
-        return self.snapshot()
-
-
-#: Wider bounds for map-freshness lag (observation enqueue -> served
-#: version): 10 ms .. 60 s, then +inf.
-FRESHNESS_BOUNDS: Tuple[float, ...] = (
-    0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 60.0,
+from repro.obs.metrics import (  # noqa: F401  (compatibility re-exports)
+    DEFAULT_BOUNDS,
+    FRESHNESS_BOUNDS,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
 )
 
 
@@ -235,3 +122,41 @@ class ServiceMetrics:
         if self._cache is not None:
             out["cache"] = self._cache.as_dict()
         return out
+
+    # -- unified registry ----------------------------------------------
+    def register_into(self, registry: MetricsRegistry,
+                      prefix: str = "serve") -> None:
+        """Register this aggregate under canonical ``<prefix>.*`` names.
+
+        Static admission counters and the freshness histogram register
+        directly; per-request-kind latency histograms and outcome
+        counters (minted lazily on first request of a kind) and the
+        attached cache's counters are contributed through a collector,
+        so the export always reflects the kinds actually served:
+
+        - ``serve.rejected`` / ``serve.shed`` / ``serve.errors``
+        - ``serve.freshness``
+        - ``serve.latency.<kind>`` (histogram per request kind)
+        - ``serve.requests.<kind>.<status>`` (outcome counters)
+        - ``serve.cache.hits|misses|evictions|serialization_hits|...``
+        """
+        registry.register(f"{prefix}.rejected", self.rejected)
+        registry.register(f"{prefix}.shed", self.shed)
+        registry.register(f"{prefix}.errors", self.errors)
+        registry.register(f"{prefix}.freshness", self.freshness)
+
+        def collect() -> Dict[str, object]:
+            with self._lock:
+                latency = dict(self._latency)
+                outcomes = dict(self._outcomes)
+            out: Dict[str, object] = {}
+            for kind, hist in latency.items():
+                out[f"{prefix}.latency.{kind}"] = hist
+            for (kind, status), counter in outcomes.items():
+                out[f"{prefix}.requests.{kind}.{status}"] = counter
+            if self._cache is not None:
+                for name, value in self._cache.as_dict().items():
+                    out[f"{prefix}.cache.{name}"] = value
+            return out
+
+        registry.register_collector(collect)

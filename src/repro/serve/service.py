@@ -37,6 +37,9 @@ from typing import Callable, List, Optional, Set
 from repro.core.hdmap import HDMap
 from repro.core.tiles import TileId
 from repro.errors import HDMapError
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACER
 from repro.serve.admission import AdmissionController, AdmissionPolicy
 from repro.serve.api import (
     ChangesSince,
@@ -55,14 +58,20 @@ from repro.storage.tilestore import TileStore
 from repro.update.distribution import MapDistributionServer
 
 
+_log = get_logger("serve.service")
+
+
 class _WorkItem:
-    __slots__ = ("request", "future", "submitted_at")
+    __slots__ = ("request", "future", "submitted_at", "trace_ctx")
 
     def __init__(self, request: Request, future: "Future[Response]",
-                 submitted_at: float) -> None:
+                 submitted_at: float, trace_ctx=None) -> None:
         self.request = request
         self.future = future
         self.submitted_at = submitted_at
+        # TraceContext captured at submit; the worker thread continues
+        # the caller's trace from it (or opens a sampled root span).
+        self.trace_ctx = trace_ctx
 
 
 class MapService:
@@ -74,6 +83,7 @@ class MapService:
                  policy: Optional[AdmissionPolicy] = None,
                  storage_latency_s: float = 0.0,
                  service_latency_s: float = 0.0,
+                 registry: Optional[MetricsRegistry] = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -87,6 +97,8 @@ class MapService:
                                       tiles_per_shard)
         self.metrics = ServiceMetrics()
         self.metrics.attach_cache(self.cache)
+        if registry is not None:
+            self.metrics.register_into(registry)
         # Encoded payloads are keyed by served version; a published patch
         # advances the version, so drop the now-stale memo entries eagerly.
         server.add_listener(self._on_ingest_publish)
@@ -131,9 +143,12 @@ class MapService:
         immediately — callers never block on admission.
         """
         future: "Future[Response]" = Future()
-        item = _WorkItem(request, future, self._clock())
+        item = _WorkItem(request, future, self._clock(),
+                         trace_ctx=TRACER.propagate())
         if not self.queue.offer(item, request.priority):
             self.metrics.record(request.kind, Status.REJECTED.value, 0.0)
+            _log.warning("request_rejected", kind=request.kind,
+                         queue_depth=self.queue.depth())
             future.set_result(Response(Status.REJECTED,
                                        error="admission queue full"))
         return future
@@ -147,6 +162,8 @@ class MapService:
     def _shed_item(self, item: _WorkItem) -> None:
         latency = self._clock() - item.submitted_at
         self.metrics.record(item.request.kind, Status.SHED.value, latency)
+        _log.warning("request_shed", kind=item.request.kind,
+                     queued_age_s=round(latency, 6))
         item.future.set_result(Response(
             Status.SHED, latency_s=latency,
             error="stale low-priority request shed under load"))
@@ -159,21 +176,33 @@ class MapService:
             self._serve(item)
 
     def _serve(self, item: _WorkItem) -> None:
-        if self.service_latency_s > 0:
-            time.sleep(self.service_latency_s)
-        try:
-            payload, version = self._dispatch(item.request)
-            latency = self._clock() - item.submitted_at
-            response = Response(Status.OK, payload, version, latency)
-        except HDMapError as exc:
-            latency = self._clock() - item.submitted_at
-            response = Response(Status.ERROR, latency_s=latency,
-                                error=str(exc))
-        except Exception as exc:  # keep the worker alive on handler bugs
-            latency = self._clock() - item.submitted_at
-            response = Response(Status.ERROR, latency_s=latency,
-                                error=f"{type(exc).__name__}: {exc}")
-        self.metrics.record(item.request.kind, response.status.value,
+        kind = item.request.kind
+        span = TRACER.continue_from(item.trace_ctx, f"serve.request.{kind}")
+        with span:
+            if span.context is not None:
+                span.set("queue_wait_s",
+                         round(self._clock() - item.submitted_at, 6))
+            if self.service_latency_s > 0:
+                time.sleep(self.service_latency_s)
+            try:
+                payload, version = self._dispatch(item.request)
+                latency = self._clock() - item.submitted_at
+                response = Response(Status.OK, payload, version, latency)
+            except HDMapError as exc:
+                latency = self._clock() - item.submitted_at
+                response = Response(Status.ERROR, latency_s=latency,
+                                    error=str(exc))
+                _log.warning("request_failed", kind=kind, error=str(exc))
+            except Exception as exc:  # keep the worker alive on handler bugs
+                latency = self._clock() - item.submitted_at
+                response = Response(Status.ERROR, latency_s=latency,
+                                    error=f"{type(exc).__name__}: {exc}")
+                _log.error("request_handler_error", kind=kind,
+                           error=f"{type(exc).__name__}: {exc}")
+            if span.context is not None:
+                span.set("status", response.status.value)
+                span.set("version", response.version)
+        self.metrics.record(kind, response.status.value,
                             response.latency_s)
         item.future.set_result(response)
 

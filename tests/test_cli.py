@@ -80,3 +80,76 @@ class TestCli:
         main(["generate", "--kind", "city", "--seed", "9", "--out", str(a)])
         main(["generate", "--kind", "city", "--seed", "9", "--out", str(b)])
         assert a.read_text() == b.read_text()
+
+
+class TestObsCli:
+    @pytest.fixture(autouse=True)
+    def _reset_obs(self):
+        yield
+        from repro.obs import EVENT_LOG, TRACER
+        TRACER.configure(enabled=False, reset=True)
+        EVENT_LOG.clear()
+
+    def test_obs_export_prometheus_covers_every_subsystem(self, map_file,
+                                                          capsys):
+        from repro.obs import validate_prometheus_text
+
+        assert main(["obs", "export", str(map_file),
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert validate_prometheus_text(out) == []
+        # serve, ingest, perf kernels, and log counters in ONE export
+        assert "serve_latency_SpatialQuery_bucket" in out
+        assert "ingest_freshness_bucket" in out
+        assert "perf_grid_query_box_calls" in out
+        assert "log_events_error 0" in out
+        assert "# TYPE serve_freshness histogram" in out
+
+    def test_obs_export_json(self, map_file, capsys):
+        import json
+
+        assert main(["obs", "export", str(map_file),
+                     "--format", "json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["ingest.batches.processed"] >= 1
+        assert snap["serve.freshness"]["count"] >= 0
+
+    def test_obs_smoke_gate_passes(self, map_file, capsys):
+        assert main(["obs", "smoke", str(map_file)]) == 0
+        assert "obs smoke passed" in capsys.readouterr().out
+
+    def test_trace_sample_roundtrip_serve_bench(self, map_file, tmp_path,
+                                                capsys):
+        spans = tmp_path / "spans.jsonl"
+        assert main(["serve-bench", str(map_file), "--workers", "1",
+                     "--vehicles", "2", "--route", "300",
+                     "--trace-sample", str(spans),
+                     "--trace-sample-rate", "0.5"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert spans.exists()
+
+        assert main(["obs", "trace", "--input", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet.request" in out
+        assert "serve.request" in out
+
+        assert main(["obs", "top", "--input", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet.request" in out and "count" in out
+
+        assert main(["obs", "trace", "--input", str(spans),
+                     "--trace-id", "nope"]) == 1
+
+    def test_trace_sample_roundtrip_ingest_bench(self, map_file, tmp_path,
+                                                 capsys):
+        spans = tmp_path / "spans.jsonl"
+        assert main(["ingest-bench", str(map_file), "--workers", "1",
+                     "--vehicles", "2", "--routes", "1", "--route", "300",
+                     "--trace-sample", str(spans),
+                     "--trace-sample-rate", "1.0"]) == 0
+        assert spans.exists()
+        assert main(["obs", "trace", "--input", str(spans),
+                     "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ingest.enqueue" in out
+        assert "ingest.batch" in out
