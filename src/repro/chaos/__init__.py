@@ -1,0 +1,74 @@
+"""repro.chaos — fault injection and invariant certification for the
+serve→ingest loop.
+
+Public API:
+
+- :class:`FaultPlan` / :class:`FaultSpec` and the ``FAULT_CLASSES`` /
+  fault-point name constants (:mod:`repro.chaos.faults`) — deterministic,
+  seedable decisions about *what* fails *when*;
+- :class:`ChaosHarness` / :class:`ChaosWorkload`
+  (:mod:`repro.chaos.harness`) — drives the real pipeline + server +
+  service under a plan through their public injection seams;
+- :class:`ChaosReport` / :class:`InvariantResult` /
+  :func:`check_invariants` (:mod:`repro.chaos.report`) — certifies the
+  four degradation invariants (no lost acked observations, no duplicate
+  published patches, version monotonicity, bounded freshness lag) from
+  the run's :mod:`repro.obs` event stream, metrics, and change log.
+
+``python -m repro.cli chaos-bench`` runs the curated fault matrix;
+``docs/OPERATIONS.md`` maps the symptoms these faults produce to the
+metrics/events that surface them and the knobs that mitigate them.
+"""
+
+from repro.chaos.faults import (
+    ALL_FAULT_POINTS,
+    BUS_LEASE_STORM,
+    BUS_SLOW_CONSUMER,
+    FAULT_CLASSES,
+    PIPELINE_POISON,
+    PIPELINE_WORKER_CRASH,
+    PUBLISH_CONFLICT,
+    PUBLISH_TRANSIENT,
+    SENSOR_CLOCK_SKEW,
+    SENSOR_CORRUPT,
+    SENSOR_DELAY,
+    SENSOR_DROP,
+    SENSOR_DUPLICATE,
+    SERVE_HOT_SHARD,
+    SERVE_INVALIDATION_STORM,
+    SERVE_SPIKE,
+    FaultPlan,
+    FaultPoint,
+    FaultSpec,
+    curated_matrix,
+)
+from repro.chaos.harness import ChaosHarness, ChaosWorkload
+from repro.chaos.report import ChaosReport, InvariantResult, check_invariants
+
+__all__ = [
+    "ALL_FAULT_POINTS",
+    "BUS_LEASE_STORM",
+    "BUS_SLOW_CONSUMER",
+    "FAULT_CLASSES",
+    "PIPELINE_POISON",
+    "PIPELINE_WORKER_CRASH",
+    "PUBLISH_CONFLICT",
+    "PUBLISH_TRANSIENT",
+    "SENSOR_CLOCK_SKEW",
+    "SENSOR_CORRUPT",
+    "SENSOR_DELAY",
+    "SENSOR_DROP",
+    "SENSOR_DUPLICATE",
+    "SERVE_HOT_SHARD",
+    "SERVE_INVALIDATION_STORM",
+    "SERVE_SPIKE",
+    "ChaosHarness",
+    "ChaosReport",
+    "ChaosWorkload",
+    "FaultPlan",
+    "FaultPoint",
+    "FaultSpec",
+    "InvariantResult",
+    "check_invariants",
+    "curated_matrix",
+]

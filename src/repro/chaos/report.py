@@ -1,0 +1,200 @@
+"""`ChaosReport`: invariant certification over a chaos run.
+
+The harness runs a faulted workload; this module decides whether the
+stack *degraded* or *broke*. Four invariants must hold under every fault
+class, checked from the run's observable surfaces — the
+:mod:`repro.obs` event stream, the metrics counters, and the
+authoritative change log — never from harness-private bookkeeping:
+
+1. **No lost acknowledged observations** — every observation the bus
+   accepted (``ingest.bus.published``) is accounted for: processed at
+   least once, shed with its counter bumped, or dead-lettered with a
+   ``batch_dead_lettered`` event and a journal entry. The bus must also
+   drain completely (nothing pending, retrying, or leased). Holds
+   because leases are redelivered on expiry and retries are bounded into
+   the DLQ — there is no path that silently discards an accepted
+   observation.
+
+2. **No duplicate published patches** — the change log never records the
+   same removal twice nor two additions of the same physical landmark.
+   Holds because publication is exactly-once per idempotency key and
+   near-miss additions are conflated by radius before ingest.
+
+3. **Version monotonicity** — the change-log versions are non-decreasing
+   in append order, contiguous from the base version, and end at the
+   server's current version; the serve phase never observes a version
+   regression. Holds because every patch applies atomically under the
+   distribution server's single lock.
+
+4. **Bounded freshness lag** — the enqueue→servable lag histogram's
+   maximum stays under the fault class's bound. Holds because
+   backpressure (bounded queues + shed-oldest) prevents unbounded
+   queueing and retry backoff is capped by the attempt budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class InvariantResult:
+    name: str
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{'ok' if self.ok else 'VIOLATED'}] {self.name}: " \
+               f"{self.detail}"
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one harness run: fired faults + invariant verdicts."""
+
+    fault_class: str
+    plan: str
+    fired: Dict[str, int] = field(default_factory=dict)
+    invariants: List[InvariantResult] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
+    serve_stats: Optional[Dict[str, object]] = None
+    elapsed_s: float = 0.0
+
+    def certify(self) -> bool:
+        """True iff every invariant held."""
+        return all(result.ok for result in self.invariants)
+
+    def violations(self) -> List[InvariantResult]:
+        return [r for r in self.invariants if not r.ok]
+
+    def format(self) -> str:
+        lines = [f"chaos[{self.fault_class}] plan: {self.plan}"]
+        if self.fired:
+            fired = ", ".join(f"{k}={v}" for k, v in sorted(self.fired.items()))
+            lines.append(f"  fired: {fired}")
+        for result in self.invariants:
+            lines.append(f"  {result}")
+        return "\n".join(lines)
+
+
+def _count_events(events: List[Dict[str, object]], name: str) -> int:
+    return sum(1 for e in events if e.get("event") == name)
+
+
+def check_invariants(pipe, server, base_version: int,
+                     events: List[Dict[str, object]],
+                     freshness_bound_s: float = 30.0,
+                     crash_fired: int = 0,
+                     serve_version_regressions: int = 0
+                     ) -> List[InvariantResult]:
+    """Evaluate the four invariants against one drained pipeline run.
+
+    ``pipe`` is the :class:`~repro.ingest.pipeline.IngestPipeline` after
+    ``stop()``, ``server`` the real (unproxied)
+    :class:`~repro.update.distribution.MapDistributionServer`,
+    ``base_version`` the server version before the run, ``events`` the
+    structured event stream captured during it.
+    """
+    out: List[InvariantResult] = []
+
+    # 1 -- no lost acknowledged observations --------------------------
+    published = pipe.bus.published.value
+    processed = pipe.metrics.observations_processed.value
+    shed = pipe.bus.shed_oldest.value
+    dead_batches = pipe.dead_letters.batches()
+    dead = sum(len(batch) for batch, _ in dead_batches)
+    drained = pipe.bus.is_drained()
+    dl_events = _count_events(events, "batch_dead_lettered")
+    restart_events = _count_events(events, "worker_restarted")
+    problems = []
+    if not drained:
+        problems.append("bus not drained")
+    if processed + shed + dead < published:
+        problems.append(
+            f"{published - processed - shed - dead} observation(s) "
+            f"unaccounted")
+    if dl_events != len(dead_batches):
+        problems.append(f"{len(dead_batches)} dead-lettered batch(es) but "
+                        f"{dl_events} batch_dead_lettered event(s)")
+    if crash_fired > 0 and restart_events < 1:
+        problems.append(f"{crash_fired} crash(es) injected but no "
+                        f"worker_restarted event")
+    out.append(InvariantResult(
+        "no_lost_acked_observations",
+        not problems,
+        "; ".join(problems) if problems else
+        f"published={published} processed={processed} shed={shed} "
+        f"dead={dead} restarts={restart_events}"))
+
+    # 2 -- no duplicate published patches -----------------------------
+    from repro.core.changes import ChangeType
+    changes = server.changes_since(base_version)
+    removed_seen: Dict[object, int] = {}
+    for change in changes:
+        if change.change_type is ChangeType.REMOVED:
+            removed_seen[change.element_id] = \
+                removed_seen.get(change.element_id, 0) + 1
+    dup_removed = {eid: n for eid, n in removed_seen.items() if n > 1}
+    radius = pipe.publisher.add_conflation_radius
+    added = [c.position for c in changes
+             if c.change_type is ChangeType.ADDED]
+    dup_added = 0
+    for i in range(len(added)):
+        for j in range(i + 1, len(added)):
+            if math.hypot(added[i][0] - added[j][0],
+                          added[i][1] - added[j][1]) <= radius:
+                dup_added += 1
+    problems = []
+    if dup_removed:
+        problems.append(f"elements removed more than once: {dup_removed}")
+    if dup_added:
+        problems.append(f"{dup_added} addition pair(s) within the "
+                        f"{radius:g} m conflation radius")
+    out.append(InvariantResult(
+        "no_duplicate_published_patches",
+        not problems,
+        "; ".join(problems) if problems else
+        f"{len(changes)} change(s), "
+        f"{pipe.metrics.patches_duplicate.value} redelivery/conflation "
+        f"suppression(s)"))
+
+    # 3 -- version monotonicity ---------------------------------------
+    entries = server.db.log.entries
+    versions = [v for v, _ in entries if v > base_version]
+    problems = []
+    if any(b < a for a, b in zip(versions, versions[1:])):
+        problems.append("change-log versions regress in append order")
+    expected = set(range(base_version + 1, server.version + 1))
+    if set(versions) != expected:
+        problems.append(
+            f"versions not contiguous: saw {len(set(versions))} distinct, "
+            f"expected {len(expected)} "
+            f"({base_version + 1}..{server.version})")
+    if serve_version_regressions:
+        problems.append(f"{serve_version_regressions} serve-side version "
+                        f"regression(s)")
+    out.append(InvariantResult(
+        "version_monotonicity",
+        not problems,
+        "; ".join(problems) if problems else
+        f"versions {base_version + 1}..{server.version} contiguous, "
+        f"non-decreasing"))
+
+    # 4 -- bounded freshness lag --------------------------------------
+    snap = pipe.metrics.freshness.snapshot()
+    count = int(snap.get("count", 0))
+    max_s = float(snap.get("max_s", 0.0))
+    if count == 0:
+        out.append(InvariantResult(
+            "freshness_lag_bounded", True,
+            "no patches published (vacuous)"))
+    else:
+        ok = max_s <= freshness_bound_s
+        out.append(InvariantResult(
+            "freshness_lag_bounded", ok,
+            f"max lag {max_s * 1e3:.1f} ms "
+            f"{'<=' if ok else '>'} bound {freshness_bound_s * 1e3:.0f} ms "
+            f"over {count} patch(es)"))
+    return out

@@ -8,6 +8,7 @@ Usage::
     python -m repro route city.json --from 100,100 --to 600,400
     python -m repro serve-bench city.json --workers 1,4 --vehicles 8
     python -m repro ingest-bench city.json --workers 1,4 --vehicles 4
+    python -m repro chaos-bench city.json --classes sensor,pipeline
     python -m repro taxonomy
     python -m repro perf-bench --out BENCH_PERF.json
     python -m repro obs export city.json --format prometheus
@@ -409,6 +410,59 @@ def _cmd_obs_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_bench(args: argparse.Namespace) -> int:
+    """Certify graceful degradation under the curated fault matrix."""
+    from repro.chaos import ChaosHarness, ChaosWorkload, FaultPlan
+    from repro.chaos.faults import FAULT_CLASSES, curated_matrix
+    from repro.storage import load_map
+
+    hdmap = load_map(args.map)
+    wanted = None if args.classes == "all" else \
+        {c.strip() for c in args.classes.split(",") if c.strip()}
+    if wanted is not None:
+        unknown = wanted - set(FAULT_CLASSES)
+        if unknown:
+            print(f"unknown fault class(es): {', '.join(sorted(unknown))} "
+                  f"(choose from {', '.join(FAULT_CLASSES)})",
+                  file=sys.stderr)
+            return 2
+    workload = ChaosWorkload(vehicles=args.vehicles,
+                             routes_per_vehicle=args.routes,
+                             route_length_m=args.route, seed=args.seed)
+    print(f"chaos matrix against {hdmap.name} "
+          f"(seed {args.seed}, {args.vehicles} vehicles x {args.routes} "
+          f"route(s) x {args.route / 1000:.1f} km)")
+    failures = 0
+    for fault_class, plan in curated_matrix(args.seed):
+        if wanted is not None and fault_class not in wanted:
+            continue
+        harness = ChaosHarness(hdmap, plan, workload=workload,
+                               freshness_bound_s=args.freshness_bound_s)
+        report = harness.run(fault_class)
+        print(report.format())
+        if not report.certify():
+            failures += len(report.violations())
+    if not args.skip_parity:
+        harness = ChaosHarness(hdmap, FaultPlan.none(args.seed),
+                               workload=workload,
+                               freshness_bound_s=args.freshness_bound_s)
+        report = harness.run("parity")
+        chaos_bytes = harness.final_map_bytes()
+        plain_bytes = harness.run_plain()
+        identical = chaos_bytes == plain_bytes
+        print(f"parity: inert chaos run vs plain pipeline -> "
+              f"{'byte-identical' if identical else 'MISMATCH'} "
+              f"({len(chaos_bytes)} B)")
+        if not identical or not report.certify():
+            failures += 1
+    if failures:
+        print(f"CHAOS BENCH FAILED: {failures} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("chaos bench passed: all invariants certified")
+    return 0
+
+
 def _cmd_taxonomy(args: argparse.Namespace) -> int:
     from repro import taxonomy
 
@@ -577,6 +631,26 @@ def build_parser() -> argparse.ArgumentParser:
     obs_smoke.add_argument("map")
     obs_smoke.add_argument("--seed", type=int, default=0)
     obs_smoke.set_defaults(func=_cmd_obs_smoke)
+
+    chaos = sub.add_parser(
+        "chaos-bench",
+        help="fault-injection matrix: certify graceful degradation "
+             "invariants across the serve->ingest loop")
+    chaos.add_argument("map")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--classes", default="all",
+                       help="comma-separated fault classes to run "
+                            "(sensor,bus,pipeline,publish,serve) or 'all'")
+    chaos.add_argument("--vehicles", type=int, default=3)
+    chaos.add_argument("--routes", type=int, default=2,
+                       help="routes per vehicle")
+    chaos.add_argument("--route", type=float, default=900.0,
+                       help="route length per vehicle, metres")
+    chaos.add_argument("--freshness-bound-s", type=float, default=30.0,
+                       help="freshness-lag invariant bound, seconds")
+    chaos.add_argument("--skip-parity", action="store_true",
+                       help="skip the faults-disabled byte-parity check")
+    chaos.set_defaults(func=_cmd_chaos_bench)
 
     tax = sub.add_parser("taxonomy", help="print Table I with coverage")
     tax.set_defaults(func=_cmd_taxonomy)

@@ -15,15 +15,23 @@ concurrent path between them:
   classify -> emit stage chain reusing ``IncrementalFuser``,
   ``DiscreteDBN``, and ``ChangeClassifier``;
 - :mod:`repro.ingest.publisher` — :class:`PatchPublisher`, exactly-once
-  (per patch key) publication under a configurable ``ConflictPolicy``;
+  (per patch key) publication under a configurable ``ConflictPolicy``,
+  retrying :class:`TransientPublishError` with exponential backoff;
 - :mod:`repro.ingest.pipeline` — :class:`IngestPipeline`: supervised
   stage workers, retry with exponential backoff, a dead-letter queue;
+- :mod:`repro.ingest.breaker` — :class:`CircuitBreaker` per pipeline
+  stage (closed -> open -> half-open), failing fast via
+  :class:`StageCircuitOpen` while a stage is sick;
 - :mod:`repro.ingest.metrics` — per-stage latency, queue-depth gauges,
   and the map-freshness-lag histogram;
 - :mod:`repro.ingest.fleetsource` — a synthetic producer fleet closing
   the world -> sensors -> ingest -> serve loop end to end.
+
+Failure behavior under injected faults is certified by
+:mod:`repro.chaos`; ``docs/OPERATIONS.md`` maps the symptoms to knobs.
 """
 
+from repro.ingest.breaker import CircuitBreaker, StageCircuitOpen
 from repro.ingest.bus import ObservationBus
 from repro.ingest.fleetsource import FleetObservationSource, SourceReport
 from repro.ingest.metrics import Gauge, IngestMetrics
@@ -33,7 +41,12 @@ from repro.ingest.observation import (
     ObservationKind,
 )
 from repro.ingest.pipeline import DeadLetterQueue, IngestPipeline
-from repro.ingest.publisher import ConfirmedPatch, PatchPublisher, PublishResult
+from repro.ingest.publisher import (
+    ConfirmedPatch,
+    PatchPublisher,
+    PublishResult,
+    TransientPublishError,
+)
 from repro.ingest.stages import (
     AssociateStage,
     ClassifyStage,
@@ -47,6 +60,7 @@ from repro.ingest.stages import (
 
 __all__ = [
     "AssociateStage",
+    "CircuitBreaker",
     "ClassifyStage",
     "ConfirmedPatch",
     "DeadLetterQueue",
@@ -65,6 +79,8 @@ __all__ = [
     "PublishResult",
     "SourceReport",
     "Stage",
+    "StageCircuitOpen",
     "TileState",
+    "TransientPublishError",
     "ValidateStage",
 ]

@@ -200,13 +200,21 @@ class ObservationBus:
             if part.inflight.pop(batch.batch_id, None) is not None:
                 self.acked_batches.add()
 
-    def nack(self, batch: ObservationBatch, delay_s: float = 0.0) -> None:
-        """Schedule a failed batch for redelivery after ``delay_s``."""
+    def nack(self, batch: ObservationBatch, delay_s: float = 0.0,
+             count_attempt: bool = True) -> None:
+        """Schedule a failed batch for redelivery after ``delay_s``.
+
+        ``count_attempt=False`` redelivers without charging the batch's
+        retry budget — used when the batch itself did not fail (e.g. a
+        stage circuit breaker refused to run it), so a systemic outage
+        cannot dead-letter healthy batches.
+        """
         part = self._partitions[batch.partition]
         with part.cond:
             if part.inflight.pop(batch.batch_id, None) is None:
                 return  # already acked or lease-expired elsewhere
-            batch.attempts += 1
+            if count_attempt:
+                batch.attempts += 1
             heapq.heappush(part.retry, (self._clock() + delay_s,
                                         next(self._retry_tiebreak), batch))
             self.redelivered.add()

@@ -56,6 +56,11 @@ class IngestMetrics:
         self.patches_published = Counter()
         self.patches_duplicate = Counter()
         self.patches_conflicted = Counter()
+        self.publish_retries = Counter()
+        self.publish_failures = Counter()
+        # per-stage circuit breakers (see repro.ingest.breaker)
+        self.breaker_opens = Counter()
+        self.breaker_fast_failures = Counter()
         # gauges, keyed by partition index
         self.queue_depth: Dict[int, Gauge] = {}
         self.in_flight = Gauge()
@@ -132,6 +137,12 @@ class IngestMetrics:
                 "published": self.patches_published.value,
                 "duplicate_suppressed": self.patches_duplicate.value,
                 "conflicted": self.patches_conflicted.value,
+                "publish_retries": self.publish_retries.value,
+                "publish_failures": self.publish_failures.value,
+            },
+            "breaker": {
+                "opens": self.breaker_opens.value,
+                "fast_failures": self.breaker_fast_failures.value,
             },
         }
 
@@ -163,6 +174,13 @@ class IngestMetrics:
                           self.patches_duplicate)
         registry.register(f"{prefix}.patches.conflicted",
                           self.patches_conflicted)
+        registry.register(f"{prefix}.patches.publish_retries",
+                          self.publish_retries)
+        registry.register(f"{prefix}.patches.publish_failures",
+                          self.publish_failures)
+        registry.register(f"{prefix}.breaker.opens", self.breaker_opens)
+        registry.register(f"{prefix}.breaker.fast_failures",
+                          self.breaker_fast_failures)
         registry.register(f"{prefix}.freshness", self.freshness)
         registry.register(f"{prefix}.in_flight", self.in_flight)
 

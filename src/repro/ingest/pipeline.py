@@ -30,6 +30,7 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.tiles import TileId
+from repro.ingest.breaker import CircuitBreaker, StageCircuitOpen
 from repro.ingest.bus import ObservationBus
 from repro.ingest.metrics import IngestMetrics
 from repro.obs.log import get_logger
@@ -113,6 +114,8 @@ class IngestPipeline:
                  delivery_hook: Optional[
                      Callable[[ObservationBatch], None]] = None,
                  supervisor_tick_s: float = 0.02,
+                 stage_failure_threshold: int = 6,
+                 breaker_cooldown_s: float = 0.25,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -153,6 +156,21 @@ class IngestPipeline:
             ClassifyStage(self.config),
             EmitStage(server.new_element_id, self.config, prior=self.prior),
         ]
+        # One circuit breaker per stage, shared by all workers: a stage
+        # that fails `stage_failure_threshold` consecutive deliveries is
+        # declared systemically down and further batches are nacked fast
+        # (without burning their retry budget) until a half-open probe
+        # succeeds. Threshold <= 0 disables breakers entirely.
+        self.stage_failure_threshold = stage_failure_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        if stage_failure_threshold > 0:
+            self.breakers = {
+                stage.name: CircuitBreaker(
+                    stage.name,
+                    failure_threshold=stage_failure_threshold,
+                    cooldown_s=breaker_cooldown_s, clock=clock)
+                for stage in self.stages}
         self.dead_letters = DeadLetterQueue(dead_letter_journal)
         self._states: Dict[TileId, TileState] = {}
         self._states_lock = threading.Lock()
@@ -283,6 +301,13 @@ class IngestPipeline:
             self.delivery_hook(batch)
         try:
             self._process(batch, worker_idx)
+        except StageCircuitOpen as exc:
+            # Not the batch's fault: the stage is systemically down.
+            # Redeliver after the breaker cooldown without charging the
+            # batch's retry budget.
+            self.bus.nack(batch, exc.retry_after_s, count_attempt=False)
+            self.metrics.breaker_fast_failures.add()
+            return
         except Exception as exc:
             # Stage failure: retry with exponential backoff, then DLQ.
             if batch.attempts + 1 >= self.max_attempts:
@@ -324,9 +349,19 @@ class IngestPipeline:
             state = self._state_for(batch.tile)
             carry: dict = {}
             for stage in self.stages:
+                breaker = self.breakers.get(stage.name)
+                if breaker is not None:
+                    breaker.acquire()  # may raise StageCircuitOpen
                 t0 = self._clock()
-                with TRACER.span(f"ingest.stage.{stage.name}"):
-                    stage.process(state, batch, carry)
+                try:
+                    with TRACER.span(f"ingest.stage.{stage.name}"):
+                        stage.process(state, batch, carry)
+                except Exception:
+                    if breaker is not None and breaker.record_failure():
+                        self.metrics.breaker_opens.add()
+                    raise
+                if breaker is not None:
+                    breaker.record_success()
                 self.metrics.record_stage(stage.name, self._clock() - t0,
                                           worker=worker_idx)
             for confirmed in carry.get(_PATCHES, []):
@@ -379,5 +414,9 @@ class IngestPipeline:
         })
         out["batches"] = batches
         out["patches"] = dict(out["patches"])  # type: ignore[arg-type]
+        breaker = dict(out["breaker"])  # type: ignore[arg-type]
+        breaker["stages"] = {name: b.state
+                             for name, b in sorted(self.breakers.items())}
+        out["breaker"] = breaker
         out["queue_depth_total"] = self.bus.total_depth()
         return out

@@ -13,6 +13,14 @@ per patch key*: a key that was ever accepted is never applied again, and
 the suppression is counted, never silent. It also closes the freshness
 measurement: the lag from the oldest contributing observation's enqueue
 stamp to the version the patch became servable at.
+
+The hop into the database can itself fail transiently (a replica
+fail-over, a chaos-injected outage): an ingest that raises
+:class:`TransientPublishError` is retried with exponential backoff up to
+``max_publish_attempts`` times (``publish_retry`` warning events), then
+surrendered with a ``publish_failed`` error event and a failed
+:class:`PublishResult`. The patch's key is *not* recorded on failure, so
+a later redelivery of the same logical change may still publish it.
 """
 
 from __future__ import annotations
@@ -35,6 +43,15 @@ from repro.update.distribution import (
 )
 
 _log = get_logger("ingest.publisher")
+
+
+class TransientPublishError(Exception):
+    """A retryable failure of the publisher -> database hop.
+
+    Raised by the database side (or a fault injector wrapping it) to
+    signal that the ingest did not happen but may succeed if retried —
+    the publisher's analogue of a 503.
+    """
 
 
 @dataclass
@@ -68,12 +85,18 @@ class PatchPublisher:
                  metrics: Optional[IngestMetrics] = None,
                  service_metrics: Optional[ServiceMetrics] = None,
                  add_conflation_radius: float = 6.0,
+                 max_publish_attempts: int = 3,
+                 publish_backoff_s: float = 0.01,
                  clock: Callable[[], float] = time.monotonic) -> None:
+        if max_publish_attempts < 1:
+            raise ValueError("max_publish_attempts must be >= 1")
         self.server = server
         self.policy = policy
         self.metrics = metrics
         self.service_metrics = service_metrics
         self.add_conflation_radius = add_conflation_radius
+        self.max_publish_attempts = max_publish_attempts
+        self.publish_backoff_s = publish_backoff_s
         self._clock = clock
         self._lock = threading.Lock()
         self._published_keys: Set[str] = set()
@@ -130,16 +153,44 @@ class PatchPublisher:
             return out
 
     def _publish(self, confirmed: ConfirmedPatch) -> PublishResult:
-        with self._lock:
-            if confirmed.key in self._published_keys or \
-                    self._conflated_add(confirmed.patch):
-                if self.metrics is not None:
-                    self.metrics.patches_duplicate.add()
-                return PublishResult(False, True, None)
-            result = self.server.ingest(confirmed.patch, policy=self.policy)
-            if result.accepted:
-                self._published_keys.add(confirmed.key)
-                self._remember_adds(confirmed.patch)
+        attempt = 0
+        while True:
+            delay = 0.0
+            # Duplicate check and ingest happen under one lock hold, but
+            # the retry backoff sleeps *outside* it so a flapping database
+            # does not serialize unrelated publishers; the duplicate check
+            # therefore re-runs on every attempt.
+            with self._lock:
+                if confirmed.key in self._published_keys or \
+                        self._conflated_add(confirmed.patch):
+                    if self.metrics is not None:
+                        self.metrics.patches_duplicate.add()
+                    return PublishResult(False, True, None)
+                try:
+                    result = self.server.ingest(confirmed.patch,
+                                                policy=self.policy)
+                except TransientPublishError as exc:
+                    attempt += 1
+                    if attempt >= self.max_publish_attempts:
+                        if self.metrics is not None:
+                            self.metrics.publish_failures.add()
+                        _log.error("publish_failed", key=confirmed.key,
+                                   attempts=attempt, error=str(exc))
+                        return PublishResult(False, False, None)
+                    if self.metrics is not None:
+                        self.metrics.publish_retries.add()
+                    delay = self.publish_backoff_s * (2 ** (attempt - 1))
+                    _log.warning("publish_retry", key=confirmed.key,
+                                 attempt=attempt,
+                                 backoff_s=round(delay, 6),
+                                 error=str(exc))
+                else:
+                    if result.accepted:
+                        self._published_keys.add(confirmed.key)
+                        self._remember_adds(confirmed.patch)
+                    break
+            if delay > 0:
+                time.sleep(delay)
         if not result.accepted:
             if self.metrics is not None:
                 self.metrics.patches_conflicted.add()

@@ -22,6 +22,11 @@ cross-cutting layer those questions are answered from:
 
 Everything here is stdlib-only and import-leaf: the serve, ingest,
 storage, and perf layers import ``repro.obs``, never the reverse.
+These surfaces are also the evidence base for fault certification:
+:mod:`repro.chaos` checks its degradation invariants against the event
+log, metrics, and the database change log — never against harness
+bookkeeping — and ``docs/OPERATIONS.md`` keys its symptom → knob
+entries to the canonical metric names registered here.
 """
 
 from repro.obs.log import (

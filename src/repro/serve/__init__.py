@@ -7,14 +7,26 @@ adds the serving layer between them and the fleet:
 
 - :mod:`repro.serve.api` — typed request/response messages
   (``GetTile``, ``SpatialQuery``, ``ChangesSince``, ``IngestPatch``,
-  ``Snapshot``) with priorities and status codes;
-- :mod:`repro.serve.cache` — a sharded, read-write-locked tile cache;
-- :mod:`repro.serve.admission` — bounded queueing with backpressure and
-  load shedding of stale low-priority requests;
-- :mod:`repro.serve.metrics` — thread-safe latency histograms and counters;
-- :mod:`repro.serve.service` — the worker-pool ``MapService`` tying the
-  above together;
+  ``Snapshot``) with priorities, status codes, and an opt-in
+  ``GetTile.max_staleness`` bound for degraded-mode reads;
+- :mod:`repro.serve.cache` — :class:`ShardedTileCache`, a sharded,
+  read-write-locked tile cache with a per-``(tile, version)`` encoded
+  memo and stale-while-revalidate serving under a staleness bound;
+- :mod:`repro.serve.admission` — :class:`AdmissionController`: bounded
+  queueing with backpressure (reject on overflow, optionally displacing
+  older low-priority work for high-priority arrivals) and load shedding
+  of stale low-priority requests at dispatch;
+- :mod:`repro.serve.metrics` — :class:`ServiceMetrics`: per-request-kind
+  latency histograms, outcome counters, and the served map-freshness
+  lag (primitives live in :mod:`repro.obs.metrics`);
+- :mod:`repro.serve.service` — the worker-pool :class:`MapService` tying
+  the above together (``stale_tile_versions`` sets the service-wide
+  stale-while-revalidate default);
 - :mod:`repro.serve.fleet` — a synthetic-vehicle load generator and report.
+
+Degradation under injected faults (hot shards, invalidation storms,
+request spikes) is certified by :mod:`repro.chaos`; ``docs/OPERATIONS.md``
+maps the observable symptoms to these knobs.
 """
 
 from repro.serve.admission import AdmissionController, AdmissionPolicy

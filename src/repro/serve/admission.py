@@ -8,6 +8,14 @@ dispatch time: if it has waited longer than ``max_age_s`` and its priority
 is below ``shed_below``, answering it would waste a worker on data the
 vehicle has already driven past, so the worker drops it and reports SHED.
 
+Shedding is *priority-aware at the door* too: when the queue is full and
+``displace`` is enabled (the default), an arriving request of strictly
+higher priority evicts the oldest queued entry of the lowest priority
+class below it instead of being rejected. A request-spike flood of LOW
+prefetches can therefore never starve HIGH safety-relevant ingests and
+syncs — the spike displaces itself, and every displacement is counted
+(``displaced``) and reported through the shed callback, never silent.
+
 The clock is injectable so shedding is deterministically testable.
 """
 
@@ -30,6 +38,7 @@ class AdmissionPolicy:
     max_queue: int = 256       # bounded backlog; offers beyond this fail
     max_age_s: float = 0.5     # queueing age beyond which low-priority work
     shed_below: Priority = Priority.NORMAL  # ... below this class is shed
+    displace: bool = True      # full queue: higher priority evicts lower
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -63,19 +72,47 @@ class AdmissionController:
         self.admitted = Counter()
         self.rejected = Counter()
         self.shed = Counter()
+        self.displaced = Counter()
 
     # ------------------------------------------------------------------
     def offer(self, entry: Any,
               priority: Priority = Priority.NORMAL) -> bool:
-        """Admit ``entry`` unless the queue is full or closed."""
+        """Admit ``entry`` unless the queue is full or closed.
+
+        On a full queue with ``policy.displace`` set, a strictly
+        higher-priority offer evicts the oldest queued entry of the
+        lowest priority class below it (reported via the shed callback)
+        and is admitted in its place.
+        """
+        victim: Optional[_Queued] = None
         with self._cond:
-            if self._closed or len(self._queue) >= self.policy.max_queue:
+            if self._closed:
                 self.rejected.add()
                 return False
+            if len(self._queue) >= self.policy.max_queue:
+                if self.policy.displace:
+                    victim = self._displaceable(priority)
+                if victim is None:
+                    self.rejected.add()
+                    return False
+                self._queue.remove(victim)
+                self.displaced.add()
             self._queue.append(_Queued(entry, priority, self._clock()))
             self.admitted.add()
             self._cond.notify()
-            return True
+        if victim is not None and self._on_shed is not None:
+            self._on_shed(victim.entry)
+        return True
+
+    def _displaceable(self, priority: Priority) -> Optional[_Queued]:
+        """Oldest queued entry of the lowest class strictly below
+        ``priority`` (None if everything queued is >= ``priority``)."""
+        victim: Optional[_Queued] = None
+        for item in self._queue:  # deque order == age order (FIFO)
+            if item.priority < priority and \
+                    (victim is None or item.priority < victim.priority):
+                victim = item
+        return victim
 
     def _sheddable(self, item: _Queued) -> bool:
         return (item.priority < self.policy.shed_below

@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 import threading
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.hdmap import HDMap
 from repro.core.tiles import TileId
@@ -70,7 +70,7 @@ class RWLock:
 
 
 class _Shard:
-    __slots__ = ("lock", "items", "recency", "encoded")
+    __slots__ = ("lock", "items", "recency", "encoded", "revalidate")
 
     def __init__(self) -> None:
         self.lock = RWLock()
@@ -79,6 +79,9 @@ class _Shard:
         # Serialized payloads keyed (tile, version): repeat encoded reads of
         # an unchanged tile skip re-serialization entirely.
         self.encoded: Dict[Tuple[TileId, int], bytes] = {}
+        # Tiles that served a stale payload and owe the next reader a
+        # fresh re-encode (the "revalidate" half of stale-while-revalidate).
+        self.revalidate: Set[TileId] = set()
 
 
 class ShardedTileCache:
@@ -97,6 +100,7 @@ class ShardedTileCache:
         self.evictions = Counter()
         self.serialization_hits = Counter()
         self.serialization_builds = Counter()
+        self.serialization_stale_hits = Counter()
 
     def _shard_for(self, tile: TileId) -> _Shard:
         return self._shards[hash((tile.tx, tile.ty)) % len(self._shards)]
@@ -150,39 +154,91 @@ class ShardedTileCache:
         may both encode; the second install is discarded). Returns None for
         tiles the loader does not have.
         """
+        return self.get_encoded_swr(tile, version, encoder, 0)[0]
+
+    def get_encoded_swr(self, tile: TileId, version: int,
+                        encoder: Callable[[HDMap], bytes],
+                        max_staleness: int = 0
+                        ) -> Tuple[Optional[bytes], int]:
+        """:meth:`get_encoded` with a stale-while-revalidate bound.
+
+        Returns ``(payload, staleness)`` where ``staleness`` is how many
+        versions behind ``version`` the payload was built at. With
+        ``max_staleness > 0``, a miss at the current version may be
+        answered from the newest memoized payload up to that many
+        versions old — the encoder is skipped entirely on the serving
+        path — and the tile is marked for revalidation: the *next*
+        encoded read re-encodes fresh (and drops the superseded
+        versions), so a tile serves at most one burst of stale reads per
+        version bump and staleness never exceeds the bound.
+        """
         span = TRACER.span("serve.cache.get_encoded")
         if span.context is None:
-            return self._get_encoded(tile, version, encoder)
+            return self._get_encoded(tile, version, encoder, max_staleness)
         with span:
-            payload = self._get_encoded(tile, version, encoder)
+            payload, staleness = self._get_encoded(tile, version, encoder,
+                                                   max_staleness)
             span.set("tile", str(tile))
             span.set("version", version)
-            return payload
+            if staleness:
+                span.set("staleness", staleness)
+            return payload, staleness
+
+    def _find_stale(self, shard: _Shard, tile: TileId, version: int,
+                    max_staleness: int) -> Tuple[Optional[bytes], int]:
+        """Newest within-bound older payload of ``tile`` (caller holds
+        the read lock); ``(None, 0)`` when there is none."""
+        best_version = -1
+        best_payload: Optional[bytes] = None
+        for (t, v), blob in shard.encoded.items():
+            if t == tile and v < version and version - v <= max_staleness \
+                    and v > best_version:
+                best_version, best_payload = v, blob
+        if best_payload is None:
+            return None, 0
+        return best_payload, version - best_version
 
     def _get_encoded(self, tile: TileId, version: int,
-                     encoder: Callable[[HDMap], bytes]) -> Optional[bytes]:
+                     encoder: Callable[[HDMap], bytes],
+                     max_staleness: int = 0) -> Tuple[Optional[bytes], int]:
         shard = self._shard_for(tile)
         key = (tile, version)
         with shard.lock.read():
             payload = shard.encoded.get(key)
             if payload is not None:
                 self.serialization_hits.add()
-                return payload
+                return payload, 0
+            if max_staleness > 0 and tile not in shard.revalidate:
+                stale, staleness = self._find_stale(shard, tile, version,
+                                                    max_staleness)
+            else:
+                stale, staleness = None, 0
+        if stale is not None:
+            with shard.lock.write():
+                shard.revalidate.add(tile)
+            self.serialization_stale_hits.add()
+            return stale, staleness
         decoded = self.get(tile)
         if decoded is None:
-            return None
+            return None, 0
         payload = encoder(decoded)
         self.serialization_builds.add()
         with shard.lock.write():
             existing = shard.encoded.get(key)
             if existing is not None:
-                return existing
+                shard.revalidate.discard(tile)
+                return existing, 0
             shard.encoded[key] = payload
+            # A fresh build supersedes every older version of this tile.
+            for old in [k for k in shard.encoded
+                        if k[0] == tile and k[1] < version]:
+                del shard.encoded[old]
+            shard.revalidate.discard(tile)
             # Bound the memo like the decoded side; dict order is insertion
             # order, so the oldest entry (stalest version first) goes.
             while len(shard.encoded) > self.tiles_per_shard:
                 shard.encoded.pop(next(iter(shard.encoded)))
-        return payload
+        return payload, 0
 
     def invalidate_encoded(self,
                            tiles: Optional[List[TileId]] = None) -> None:
@@ -191,6 +247,7 @@ class ShardedTileCache:
             for shard in self._shards:
                 with shard.lock.write():
                     shard.encoded.clear()
+                    shard.revalidate.clear()
             return
         wanted = set(tiles)
         for tile in wanted:
@@ -198,6 +255,7 @@ class ShardedTileCache:
             with shard.lock.write():
                 for key in [k for k in shard.encoded if k[0] in wanted]:
                     del shard.encoded[key]
+                shard.revalidate.discard(tile)
 
     def invalidate(self, tiles: Optional[List[TileId]] = None) -> None:
         """Drop specific tiles (or everything when ``tiles`` is None)."""
@@ -207,6 +265,7 @@ class ShardedTileCache:
                     shard.items.clear()
                     shard.recency.clear()
                     shard.encoded.clear()
+                    shard.revalidate.clear()
             return
         for tile in tiles:
             shard = self._shard_for(tile)
@@ -215,6 +274,7 @@ class ShardedTileCache:
                 shard.recency.pop(tile, None)
                 for key in [k for k in shard.encoded if k[0] == tile]:
                     del shard.encoded[key]
+                shard.revalidate.discard(tile)
 
     def resident_tiles(self) -> List[TileId]:
         out: List[TileId] = []
@@ -238,4 +298,5 @@ class ShardedTileCache:
             "resident": len(self.resident_tiles()),
             "serialization_hits": self.serialization_hits.value,
             "serialization_builds": self.serialization_builds.value,
+            "serialization_stale_hits": self.serialization_stale_hits.value,
         }

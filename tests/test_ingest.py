@@ -17,7 +17,10 @@ from repro.ingest import (
     ObservationBus,
     ObservationKind,
     PatchPublisher,
+    TransientPublishError,
 )
+from repro.ingest.metrics import IngestMetrics
+from repro.obs import EVENT_LOG
 from repro.serve import ChangesSince, MapService
 from repro.storage import RecordJournal, TileStore
 from repro.update.distribution import ConflictPolicy, MapDistributionServer
@@ -200,6 +203,55 @@ class TestPatchPublisher:
         assert not result.published and not result.duplicate
         # The key was not recorded, so the patch may be retried later.
         assert not publisher.seen("kr")
+
+    def test_retry_exhaustion_emits_events_and_keeps_key_retriable(self):
+        server = _sign_server()
+
+        class FlakyServer:
+            """Delegating wrapper whose ingest fails N times, then heals."""
+
+            def __init__(self, inner, failures):
+                self._inner = inner
+                self.failures = failures
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def ingest(self, patch, policy=None):
+                if self.failures > 0:
+                    self.failures -= 1
+                    raise TransientPublishError("replica fail-over")
+                return self._inner.ingest(patch, policy=policy)
+
+        flaky = FlakyServer(server, failures=10)
+        metrics = IngestMetrics()
+        publisher = PatchPublisher(flaky, metrics=metrics,
+                                   max_publish_attempts=3,
+                                   publish_backoff_s=1e-4)
+        EVENT_LOG.clear()
+        result = publisher.publish(
+            ConfirmedPatch("kx", _add_patch(server, [10.0, 5.0])))
+        assert not result.published and not result.duplicate
+        assert result.version is None
+
+        retries = EVENT_LOG.events(event="publish_retry")
+        assert [e["attempt"] for e in retries] == [1, 2]
+        assert all(e["level"] == "warning" and e["key"] == "kx"
+                   for e in retries)
+        (failed,) = EVENT_LOG.events(event="publish_failed")
+        assert failed["level"] == "error"
+        assert failed["attempts"] == 3
+        assert metrics.publish_retries.value == 2
+        assert metrics.publish_failures.value == 1
+
+        # The key was not burned by the failure: once the database heals
+        # (one transient left: a retry succeeds), the change publishes.
+        flaky.failures = 1
+        healed = publisher.publish(
+            ConfirmedPatch("kx", _add_patch(server, [10.0, 5.0])))
+        assert healed.published
+        assert metrics.publish_retries.value == 3
+        assert server.version == 1
 
     def test_concurrent_redelivery_publishes_once(self):
         server = _sign_server()

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Docs-consistency gate: the CLI, metric names, and knobs the docs
+promise must exist in the code.
+
+Three checks, run by CI's lint job (and locally via
+``PYTHONPATH=src python tools/check_docs.py``):
+
+1. every ``python -m repro`` subcommand registered by
+   :func:`repro.cli.build_parser` is mentioned in README.md;
+2. every canonical metric name written in docs/OPERATIONS.md (backticked
+   ``serve.* / ingest.* / perf.* / log.*`` tokens, with ``<placeholder>``
+   segments) resolves against the registry universe of a real
+   serve+ingest workload — the same one ``obs smoke`` gates on — so the
+   handbook can never name a metric the code stopped registering;
+3. every knob OPERATIONS.md tells an operator to turn — backticked
+   ``Ctor(arg=…)`` snippets and ``--flag`` mentions — is a real
+   constructor/function argument or a real CLI flag.
+
+Exits non-zero listing every stale reference.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import re
+import sys
+import tempfile
+from typing import List, Set
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+#: Modules knob snippets may resolve against, in lookup order.
+KNOB_NAMESPACES = (
+    "repro.serve",
+    "repro.ingest",
+    "repro.chaos",
+    "repro.obs",
+    "repro.update.distribution",
+)
+
+METRIC_TOKEN = re.compile(
+    r"`((?:serve|ingest|perf|log)\.[A-Za-z0-9_.<>]+)`")
+KNOB_CALL = re.compile(
+    r"`([A-Za-z][A-Za-z0-9_]*)\(([a-z][a-z0-9_]*)=")
+CLI_FLAG = re.compile(r"`(--[a-z][a-z0-9-]+)`")
+
+
+def _read(path: str) -> str:
+    with open(os.path.join(REPO, path), encoding="utf-8") as fh:
+        return fh.read()
+
+
+def check_cli_in_readme(errors: List[str]) -> None:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subcommands: Set[str] = set()
+    for action in parser._subparsers._group_actions:
+        subcommands.update(action.choices)
+    readme = _read("README.md")
+    for name in sorted(subcommands):
+        if name not in readme:
+            errors.append(
+                f"README.md: CLI subcommand `{name}` is not mentioned")
+
+
+def _metric_universe() -> Set[str]:
+    """Registered names of a real workload (dynamic names included)."""
+    import numpy as np
+
+    from repro.cli import _obs_workload
+    from repro.storage import save_map
+    from repro.world import generate_grid_city
+
+    from repro.obs import MetricsRegistry
+    from repro.serve import GetTile, MapService
+    from repro.storage import TileStore
+    from repro.update.distribution import MapDistributionServer
+
+    city = generate_grid_city(np.random.default_rng(7), 2, 2,
+                              block_size=150.0)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "city.json")
+        save_map(city, path)
+        registry = _obs_workload(path, seed=7)
+    names = set(registry.snapshot())
+
+    # The fleet workload never issues GetTile; cover its dynamic
+    # per-kind names from a one-request service of its own.
+    extra = MetricsRegistry()
+    server = MapDistributionServer(city.copy())
+    store = TileStore.build(city, tile_size=250.0)
+    with MapService(server, store, n_workers=1, registry=extra) as service:
+        service.request(GetTile(store.tiles()[0]))
+    return names | set(extra.snapshot())
+
+
+def check_operations_metrics(errors: List[str]) -> None:
+    universe = _metric_universe()
+    doc = _read(os.path.join("docs", "OPERATIONS.md"))
+    for token in sorted(set(METRIC_TOKEN.findall(doc))):
+        if "<" in token:
+            # <placeholder> segments may span dots (perf kernel names
+            # are dotted); re.escape leaves the <...> markers intact.
+            pattern = re.compile(
+                "^" + re.sub(r"<[a-z]+>", r"[A-Za-z0-9_.]+",
+                             re.escape(token)) + "$")
+            if not any(pattern.match(name) for name in universe):
+                errors.append(
+                    f"OPERATIONS.md: metric pattern `{token}` matches "
+                    f"nothing in the registry")
+        elif token not in universe:
+            errors.append(
+                f"OPERATIONS.md: metric `{token}` is not registered")
+
+
+def _resolve_knob_target(name: str):
+    import importlib
+
+    for namespace in KNOB_NAMESPACES:
+        module = importlib.import_module(namespace)
+        target = getattr(module, name, None)
+        if target is not None:
+            return target
+    return None
+
+
+def check_operations_knobs(errors: List[str]) -> None:
+    from repro.cli import build_parser
+
+    doc = _read(os.path.join("docs", "OPERATIONS.md"))
+    for name, arg in sorted(set(KNOB_CALL.findall(doc))):
+        target = _resolve_knob_target(name)
+        if target is None:
+            errors.append(
+                f"OPERATIONS.md: knob target `{name}` not found in "
+                f"{', '.join(KNOB_NAMESPACES)}")
+            continue
+        callee = target.__init__ if inspect.isclass(target) else target
+        params = inspect.signature(callee).parameters
+        if arg not in params:
+            errors.append(
+                f"OPERATIONS.md: `{name}({arg}=…)` — no such argument")
+
+    flags: Set[str] = set()
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        for sub in action.choices.values():
+            for sub_action in sub._actions:
+                flags.update(sub_action.option_strings)
+            if sub._subparsers is not None:
+                for nested in sub._subparsers._group_actions:
+                    for leaf in nested.choices.values():
+                        for leaf_action in leaf._actions:
+                            flags.update(leaf_action.option_strings)
+    for flag in sorted(set(CLI_FLAG.findall(doc))):
+        if flag not in flags:
+            errors.append(
+                f"OPERATIONS.md: CLI flag `{flag}` does not exist")
+
+
+def main() -> int:
+    errors: List[str] = []
+    check_cli_in_readme(errors)
+    check_operations_knobs(errors)
+    check_operations_metrics(errors)
+    if errors:
+        for line in errors:
+            print(f"FAIL {line}")
+        print(f"docs check failed: {len(errors)} stale reference(s)")
+        return 1
+    print("docs check passed: CLI, metrics, and knobs all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
