@@ -9,6 +9,12 @@ Public API:
 - :class:`ChaosHarness` / :class:`ChaosWorkload`
   (:mod:`repro.chaos.harness`) — drives the real pipeline + server +
   service under a plan through their public injection seams;
+- :class:`ClusterChaosHarness` / :class:`ClusterWorkload`
+  (:mod:`repro.chaos.cluster`) — the ``shard`` fault class: shard
+  crashes, slow shards, and rebalances against the sharded
+  :class:`~repro.cluster.router.ClusterRouter`, certifying the same
+  four invariants from the router journal, merged snapshot, and
+  per-shard change logs;
 - :class:`ChaosReport` / :class:`InvariantResult` /
   :func:`check_invariants` (:mod:`repro.chaos.report`) — certifies the
   four degradation invariants (no lost acked observations, no duplicate
@@ -20,10 +26,18 @@ Public API:
 metrics/events that surface them and the knobs that mitigate them.
 """
 
+from repro.chaos.cluster import (
+    ClusterChaosHarness,
+    ClusterWorkload,
+    canonical_map_bytes,
+)
 from repro.chaos.faults import (
     ALL_FAULT_POINTS,
     BUS_LEASE_STORM,
     BUS_SLOW_CONSUMER,
+    CLUSTER_REBALANCE,
+    CLUSTER_SHARD_CRASH,
+    CLUSTER_SLOW_SHARD,
     FAULT_CLASSES,
     PIPELINE_POISON,
     PIPELINE_WORKER_CRASH,
@@ -49,6 +63,9 @@ __all__ = [
     "ALL_FAULT_POINTS",
     "BUS_LEASE_STORM",
     "BUS_SLOW_CONSUMER",
+    "CLUSTER_REBALANCE",
+    "CLUSTER_SHARD_CRASH",
+    "CLUSTER_SLOW_SHARD",
     "FAULT_CLASSES",
     "PIPELINE_POISON",
     "PIPELINE_WORKER_CRASH",
@@ -65,10 +82,13 @@ __all__ = [
     "ChaosHarness",
     "ChaosReport",
     "ChaosWorkload",
+    "ClusterChaosHarness",
+    "ClusterWorkload",
     "FaultPlan",
     "FaultPoint",
     "FaultSpec",
     "InvariantResult",
+    "canonical_map_bytes",
     "check_invariants",
     "curated_matrix",
 ]

@@ -35,7 +35,14 @@ Fault-point catalog (wired in :mod:`repro.chaos.harness`):
 ``serve.hot_shard``         request burst concentrated on one tile
 ``serve.invalidation_storm``encoded-payload memo invalidated repeatedly
 ``serve.spike``             request burst beyond admission capacity
+``cluster.shard_crash``     a shard process is killed mid-stream
+``cluster.slow_shard``      a shard stalls past the router call timeout
+``cluster.rebalance``       the cluster grows by one shard mid-stream
 ==========================  ==============================================
+
+The ``cluster.*`` points are wired in :mod:`repro.chaos.cluster` (they
+target the sharded :class:`~repro.cluster.router.ClusterRouter` rather
+than the single-node loop).
 """
 
 from __future__ import annotations
@@ -60,6 +67,9 @@ PUBLISH_CONFLICT = "publish.conflict"
 SERVE_HOT_SHARD = "serve.hot_shard"
 SERVE_INVALIDATION_STORM = "serve.invalidation_storm"
 SERVE_SPIKE = "serve.spike"
+CLUSTER_SHARD_CRASH = "cluster.shard_crash"
+CLUSTER_SLOW_SHARD = "cluster.slow_shard"
+CLUSTER_REBALANCE = "cluster.rebalance"
 
 ALL_FAULT_POINTS: Tuple[str, ...] = (
     SENSOR_DROP,
@@ -76,10 +86,14 @@ ALL_FAULT_POINTS: Tuple[str, ...] = (
     SERVE_HOT_SHARD,
     SERVE_INVALIDATION_STORM,
     SERVE_SPIKE,
+    CLUSTER_SHARD_CRASH,
+    CLUSTER_SLOW_SHARD,
+    CLUSTER_REBALANCE,
 )
 
-#: The five structural fault classes, mapping to the stack layer each
-#: fault point wraps. chaos-bench certifies the invariants per class.
+#: The six structural fault classes, mapping to the stack layer each
+#: fault point wraps. chaos-bench certifies the invariants per class
+#: (the ``shard`` class runs against the sharded cluster harness).
 FAULT_CLASSES: Dict[str, Tuple[str, ...]] = {
     "sensor": (SENSOR_DROP, SENSOR_DUPLICATE, SENSOR_CORRUPT,
                SENSOR_DELAY, SENSOR_CLOCK_SKEW),
@@ -87,6 +101,7 @@ FAULT_CLASSES: Dict[str, Tuple[str, ...]] = {
     "pipeline": (PIPELINE_WORKER_CRASH, PIPELINE_POISON),
     "publish": (PUBLISH_TRANSIENT, PUBLISH_CONFLICT),
     "serve": (SERVE_HOT_SHARD, SERVE_INVALIDATION_STORM, SERVE_SPIKE),
+    "shard": (CLUSTER_SHARD_CRASH, CLUSTER_SLOW_SHARD, CLUSTER_REBALANCE),
 }
 
 
@@ -275,5 +290,13 @@ def curated_matrix(seed: int = 7) -> List[Tuple[str, FaultPlan]]:
             FaultSpec(SERVE_INVALIDATION_STORM, probability=0.15),
             FaultSpec(SERVE_SPIKE, probability=1.0, after=40, max_count=2,
                       magnitude=40),
+        ], seed)),
+        ("shard", FaultPlan([
+            FaultSpec(CLUSTER_SHARD_CRASH, probability=1.0, after=8,
+                      max_count=2),
+            FaultSpec(CLUSTER_SLOW_SHARD, probability=1.0, after=20,
+                      max_count=1, magnitude=3.0),
+            FaultSpec(CLUSTER_REBALANCE, probability=1.0, after=30,
+                      max_count=1),
         ], seed)),
     ]

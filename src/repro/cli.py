@@ -9,6 +9,7 @@ Usage::
     python -m repro serve-bench city.json --workers 1,4 --vehicles 8
     python -m repro ingest-bench city.json --workers 1,4 --vehicles 4
     python -m repro chaos-bench city.json --classes sensor,pipeline
+    python -m repro cluster-bench city.json --shards 1,2 --check-scaling 1.5
     python -m repro taxonomy
     python -m repro perf-bench --out BENCH_PERF.json
     python -m repro obs export city.json --format prometheus
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -412,7 +414,13 @@ def _cmd_obs_smoke(args: argparse.Namespace) -> int:
 
 def _cmd_chaos_bench(args: argparse.Namespace) -> int:
     """Certify graceful degradation under the curated fault matrix."""
-    from repro.chaos import ChaosHarness, ChaosWorkload, FaultPlan
+    from repro.chaos import (
+        ChaosHarness,
+        ChaosWorkload,
+        ClusterChaosHarness,
+        ClusterWorkload,
+        FaultPlan,
+    )
     from repro.chaos.faults import FAULT_CLASSES, curated_matrix
     from repro.storage import load_map
 
@@ -429,37 +437,151 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
     workload = ChaosWorkload(vehicles=args.vehicles,
                              routes_per_vehicle=args.routes,
                              route_length_m=args.route, seed=args.seed)
+    cluster_workload = ClusterWorkload(transport=args.shard_transport,
+                                       seed=args.seed)
     print(f"chaos matrix against {hdmap.name} "
           f"(seed {args.seed}, {args.vehicles} vehicles x {args.routes} "
           f"route(s) x {args.route / 1000:.1f} km)")
     failures = 0
+    ran_shard = False
     for fault_class, plan in curated_matrix(args.seed):
         if wanted is not None and fault_class not in wanted:
             continue
-        harness = ChaosHarness(hdmap, plan, workload=workload,
-                               freshness_bound_s=args.freshness_bound_s)
-        report = harness.run(fault_class)
+        if fault_class == "shard":
+            # the cluster layer has its own harness: shard crashes, slow
+            # shards, and rebalances against a live ClusterRouter.
+            cluster_harness = ClusterChaosHarness(
+                hdmap, plan, workload=cluster_workload,
+                freshness_bound_s=args.freshness_bound_s)
+            report = cluster_harness.run(fault_class)
+            ran_shard = True
+        else:
+            harness = ChaosHarness(hdmap, plan, workload=workload,
+                                   freshness_bound_s=args.freshness_bound_s)
+            report = harness.run(fault_class)
         print(report.format())
         if not report.certify():
             failures += len(report.violations())
     if not args.skip_parity:
-        harness = ChaosHarness(hdmap, FaultPlan.none(args.seed),
-                               workload=workload,
-                               freshness_bound_s=args.freshness_bound_s)
-        report = harness.run("parity")
-        chaos_bytes = harness.final_map_bytes()
-        plain_bytes = harness.run_plain()
-        identical = chaos_bytes == plain_bytes
-        print(f"parity: inert chaos run vs plain pipeline -> "
-              f"{'byte-identical' if identical else 'MISMATCH'} "
-              f"({len(chaos_bytes)} B)")
-        if not identical or not report.certify():
-            failures += 1
+        if wanted is None or wanted - {"shard"}:
+            harness = ChaosHarness(hdmap, FaultPlan.none(args.seed),
+                                   workload=workload,
+                                   freshness_bound_s=args.freshness_bound_s)
+            report = harness.run("parity")
+            chaos_bytes = harness.final_map_bytes()
+            plain_bytes = harness.run_plain()
+            identical = chaos_bytes == plain_bytes
+            print(f"parity: inert chaos run vs plain pipeline -> "
+                  f"{'byte-identical' if identical else 'MISMATCH'} "
+                  f"({len(chaos_bytes)} B)")
+            if not identical or not report.certify():
+                failures += 1
+        if ran_shard:
+            cluster_harness = ClusterChaosHarness(
+                hdmap, FaultPlan.none(args.seed),
+                workload=cluster_workload,
+                freshness_bound_s=args.freshness_bound_s)
+            report = cluster_harness.run("shard-parity")
+            cluster_bytes = cluster_harness.final_map_bytes()
+            plain_bytes = cluster_harness.run_plain()
+            identical = cluster_bytes == plain_bytes
+            print(f"parity: inert cluster run vs single-node service -> "
+                  f"{'byte-identical' if identical else 'MISMATCH'} "
+                  f"({len(cluster_bytes)} B)")
+            if not identical or not report.certify():
+                failures += 1
     if failures:
         print(f"CHAOS BENCH FAILED: {failures} violation(s)",
               file=sys.stderr)
         return 1
     print("chaos bench passed: all invariants certified")
+    return 0
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    """Sweep shard counts and measure aggregate GetTile throughput.
+
+    Per-shard RPC calls serialize on the shard handle, so the sweep
+    shows routing-tier scaling directly: N shards admit N concurrent
+    in-flight requests, and with a simulated per-request service cost
+    the aggregate throughput grows near-linearly until the client count
+    stops covering the shards.
+    """
+    import threading
+
+    from repro.cluster import ClusterRouter
+    from repro.serve.api import GetTile
+    from repro.storage import load_map
+
+    hdmap = load_map(args.map)
+    latency_s = args.service_latency_ms / 1e3
+    print(f"cluster GetTile sweep against {hdmap.name} "
+          f"({args.requests} requests, {args.clients} client(s), "
+          f"{args.service_latency_ms:g} ms simulated service cost, "
+          f"transport={args.transport})")
+    print(f"{'shards':>6} {'reqs':>7} {'errors':>7} {'elapsed':>9} "
+          f"{'throughput':>12}")
+    results: List[tuple] = []
+    for n_shards in args.shards:
+        router = ClusterRouter(
+            hdmap, n_shards=n_shards, tile_size=args.tile_size,
+            replicas=args.replicas, transport=args.transport,
+            n_workers=args.workers, service_latency_s=latency_s)
+        try:
+            # Pin each client to one shard's tiles: per-shard calls
+            # serialize on the shard handle, so even per-shard load is
+            # what lets N shards overlap N simulated service sleeps.
+            by_shard: dict = {}
+            for tile in router.tiles():
+                by_shard.setdefault(router.owner_of_tile(tile),
+                                    []).append(tile)
+            shard_tiles = [by_shard[s] for s in sorted(by_shard)]
+            errors = [0] * args.clients
+            done = [0] * args.clients
+            share = [args.requests // args.clients] * args.clients
+            for i in range(args.requests % args.clients):
+                share[i] += 1
+
+            def worker(me: int) -> None:
+                tiles = shard_tiles[me % len(shard_tiles)]
+                for k in range(share[me]):
+                    tile = tiles[k % len(tiles)]
+                    response = router.request(GetTile(tile=tile,
+                                                      encoded=True))
+                    if not response.ok:
+                        errors[me] += 1
+                    done[me] += 1
+
+            threads = [threading.Thread(target=worker, args=(i,),
+                                        name=f"bench-client-{i}")
+                       for i in range(args.clients)]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - t0
+        finally:
+            router.close()
+        completed = sum(done)
+        failed = sum(errors)
+        throughput = completed / elapsed if elapsed > 0 else 0.0
+        results.append((n_shards, throughput, failed))
+        print(f"{n_shards:>6} {completed:>7} {failed:>7} "
+              f"{elapsed:>8.2f}s {throughput:>9.1f} req/s")
+    if any(failed for _, _, failed in results):
+        print("CLUSTER BENCH FAILED: request errors", file=sys.stderr)
+        return 1
+    if args.check_scaling and len(results) >= 2:
+        base_shards, base_tp, _ = results[0]
+        peak_shards, peak_tp, _ = max(results[1:], key=lambda r: r[1])
+        factor = peak_tp / base_tp if base_tp > 0 else 0.0
+        print(f"scaling: {peak_shards} shard(s) vs {base_shards} -> "
+              f"{factor:.2f}x (required >= {args.check_scaling:g}x)")
+        if factor < args.check_scaling:
+            print(f"CLUSTER BENCH FAILED: scaling {factor:.2f}x below "
+                  f"{args.check_scaling:g}x", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -640,7 +762,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=7)
     chaos.add_argument("--classes", default="all",
                        help="comma-separated fault classes to run "
-                            "(sensor,bus,pipeline,publish,serve) or 'all'")
+                            "(sensor,bus,pipeline,publish,serve,shard) "
+                            "or 'all'")
+    chaos.add_argument("--shard-transport", choices=("process", "local"),
+                       default="process",
+                       help="shard-class cluster transport (default "
+                            "process; local = in-process, for "
+                            "constrained CI)")
     chaos.add_argument("--vehicles", type=int, default=3)
     chaos.add_argument("--routes", type=int, default=2,
                        help="routes per vehicle")
@@ -651,6 +779,35 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--skip-parity", action="store_true",
                        help="skip the faults-disabled byte-parity check")
     chaos.set_defaults(func=_cmd_chaos_bench)
+
+    cluster = sub.add_parser(
+        "cluster-bench",
+        help="sweep shard counts and check aggregate GetTile scaling")
+    cluster.add_argument("map")
+    cluster.add_argument("--shards", type=_parse_worker_list, default=[1, 2],
+                         metavar="N,M,...",
+                         help="shard counts to sweep (default 1,2)")
+    cluster.add_argument("--requests", type=int, default=400,
+                         help="total GetTile requests per shard count")
+    cluster.add_argument("--clients", type=int, default=4,
+                         help="concurrent client threads")
+    cluster.add_argument("--workers", type=int, default=2,
+                         help="MapService workers per shard")
+    cluster.add_argument("--replicas", type=int, default=0,
+                         help="read replicas per shard")
+    cluster.add_argument("--tile-size", type=float, default=250.0)
+    cluster.add_argument("--service-latency-ms", type=float, default=20.0,
+                         help="simulated per-request service cost inside "
+                              "each shard; must dominate the ~1 ms "
+                              "serial RPC overhead for the sweep to show "
+                              "shard-count scaling on few cores")
+    cluster.add_argument("--transport", choices=("process", "local"),
+                         default="process")
+    cluster.add_argument("--check-scaling", type=float, default=None,
+                         metavar="FACTOR",
+                         help="fail unless best throughput >= FACTOR x "
+                              "the first shard count's")
+    cluster.set_defaults(func=_cmd_cluster_bench)
 
     tax = sub.add_parser("taxonomy", help="print Table I with coverage")
     tax.set_defaults(func=_cmd_taxonomy)

@@ -1,0 +1,980 @@
+"""ClusterRouter: consistent-hash sharding with failover and rebalance.
+
+The router is the thin tier in front of N shard processes (see
+:mod:`repro.cluster.shard`). It owns three pieces of authoritative
+routing state and nothing else — the map data itself lives in shards:
+
+- the **ownership map**: tile → shard via rendezvous hashing
+  (:func:`repro.core.tiles.consistent_hash_owner`), plus a home-tile
+  index ``element id → tile`` (an element keeps its first home tile for
+  the cluster's lifetime, so removes and replaces route to the same
+  shard that accepted the add);
+- the **journal**: every *acked* sub-patch, recorded as the effective
+  ops the shard actually applied. The journal is the durability story:
+  a dead shard is restarted from its base subset plus a replay of the
+  journal filtered to its owned tiles, so an acked write survives any
+  crash. It also resolves write ambiguity — a write that timed out may
+  or may not have been applied, so the router restarts the shard from
+  the journal (erasing the ambiguous effect) and resends exactly once;
+- **leases**: a shard's ownership is reasserted on every successful
+  call and re-verified with a ping once ``lease_s`` elapses quietly;
+  a failed ping triggers the same restart-from-journal path.
+
+Request routing: ``GetTile``/``IngestPatch`` pin to the owning shard
+(multi-shard patches are split into per-shard sub-patches);
+``SpatialQuery``/``Snapshot``/``ChangesSince`` scatter-gather with a
+merge that deduplicates border elements by id and filters dynamic state
+by *current* ownership — which is what makes rebalance safe: growing
+N → N+1 starts the new shard from the journal and simply swaps the
+ownership map, leaving old shards' moved-tile state in place but
+unobservable.
+
+Reads fail over to a replica when the primary dies mid-call; writes
+restart the primary first (replicas receive acked patches synchronously,
+so a replica is always at-or-behind the journal and catches up by
+restart-replay if it diverges).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.rpc import RpcConnection, RpcError, ShardDead, ShardTimeout
+from repro.cluster.shard import ShardBackend, ShardConfig, shard_main
+from repro.core.changes import ChangeType, MapChange
+from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId
+from repro.core.tiles import (
+    TileId,
+    TileScheme,
+    consistent_hash_owner,
+    ownership_map,
+)
+from repro.core.versioning import (
+    AddElement,
+    MapPatch,
+    RemoveElement,
+    ReplaceElement,
+)
+from repro.errors import ClusterError
+from repro.obs.log import get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from repro.serve.api import (
+    ChangesSince,
+    GetTile,
+    IngestPatch,
+    Request,
+    Response,
+    Snapshot,
+    SpatialQuery,
+    Status,
+)
+from repro.serve.metrics import ServiceMetrics
+from repro.storage.binary import encode_map
+from repro.storage.tilestore import TileStore
+from repro.update.distribution import IngestResult, SyncDelta
+
+_log = get_logger("cluster.router")
+
+_CHANGE_FOR_OP = {
+    AddElement: ChangeType.ADDED,
+    RemoveElement: ChangeType.REMOVED,
+    ReplaceElement: ChangeType.MODIFIED,
+}
+
+
+# ---------------------------------------------------------------------------
+# Transports: the same ShardBackend behind two wire-levels.
+# ---------------------------------------------------------------------------
+
+class LocalShard:
+    """In-process transport: direct dispatch, no sockets, no fork.
+
+    Used by unit tests and doc tooling where process isolation is not
+    the point. ``slow``-injected delays block the caller (there is no
+    concurrent receive loop to time out), so timeout-driven chaos runs
+    on :class:`ProcessShard`.
+    """
+
+    mode = "local"
+
+    def __init__(self, config: ShardConfig) -> None:
+        self._backend = ShardBackend(config).start()
+        self._dead = False
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead
+
+    def call(self, op: str, payload: Any = None,
+             timeout_s: Optional[float] = None) -> Any:
+        if self._dead:
+            raise ShardDead("shard was killed")
+        if op == "events":
+            return []  # shard already logs into the router's EVENT_LOG
+        if op == "crash":
+            self.kill()
+            raise ShardDead("injected crash")
+        return self._backend.dispatch(op, payload)
+
+    def kill(self) -> None:
+        if not self._dead:
+            self._dead = True
+            self._backend.stop()
+
+    def close(self) -> None:
+        self.kill()
+
+
+class ProcessShard:
+    """Forked shard process behind a socketpair RPC connection."""
+
+    mode = "process"
+
+    def __init__(self, config: ShardConfig,
+                 start_method: str = "fork") -> None:
+        ctx = multiprocessing.get_context(start_method)
+        parent, child = socket.socketpair()
+        self._proc = ctx.Process(
+            target=shard_main, args=(config, child), daemon=True,
+            name=f"{config.name}-{config.index}")
+        self._proc.start()
+        # Close our copy of the child end immediately: EOF detection on
+        # shard death depends on the child end living only in the child.
+        child.close()
+        self._conn = RpcConnection(parent)
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def call(self, op: str, payload: Any = None,
+             timeout_s: Optional[float] = None) -> Any:
+        return self._conn.call(op, payload, timeout_s)
+
+    def kill(self) -> None:
+        if self._proc.is_alive():
+            self._proc.kill()
+        self._proc.join(timeout=5.0)
+        self._conn.close()
+
+    def close(self) -> None:
+        if self._proc.is_alive():
+            try:
+                self._conn.call("shutdown", timeout_s=2.0)
+            except (ShardDead, ShardTimeout, RpcError):
+                pass
+            self._proc.join(timeout=2.0)
+        if self._proc.is_alive():
+            self._proc.kill()
+            self._proc.join(timeout=5.0)
+        self._conn.close()
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _JournalEntry:
+    """One acked sub-patch: the ops a shard actually applied."""
+
+    seq: int
+    source: str
+    confidence: float
+    ops: List[Tuple[Optional[TileId], object]]  # (home tile, PatchOp)
+
+
+class _ShardHandle:
+    """Per-shard routing state: transports, lock, lease, last version."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        # Serializes all RPC on this shard's connections (the RPC layer
+        # is lockstep) and any restart decision about this shard.
+        self.lock = threading.RLock()
+        self.primary: Optional[Any] = None
+        self.replicas: List[Any] = []
+        self.lease_until = 0.0
+        self.last_version = 0
+
+
+class ClusterRouter:
+    """Routes the five request types across consistent-hashed shards.
+
+    Drop-in for :class:`~repro.serve.service.MapService.request` from a
+    client's point of view: same request/response dataclasses, with
+    ``Response.version`` rewritten to the *cluster* version (a monotone
+    clamp over the sum of shard versions).
+    """
+
+    def __init__(self, hdmap: HDMap, n_shards: int = 2,
+                 tile_size: float = 500.0,
+                 replicas: int = 0,
+                 transport: str = "process",
+                 n_workers: int = 2,
+                 service_latency_s: float = 0.0,
+                 storage_latency_s: float = 0.0,
+                 stale_tile_versions: int = 0,
+                 call_timeout_s: float = 10.0,
+                 lease_s: float = 2.0,
+                 start_method: str = "fork",
+                 registry: Optional[MetricsRegistry] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if n_shards < 1:
+            raise ClusterError("n_shards must be >= 1")
+        if replicas < 0:
+            raise ClusterError("replicas must be >= 0")
+        if transport not in ("process", "local"):
+            raise ClusterError(f"unknown transport {transport!r}")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        self.transport = transport
+        self.call_timeout_s = call_timeout_s
+        self.lease_s = lease_s
+        self._start_method = start_method
+        self._clock = clock
+        self._name = hdmap.name
+        self._shard_knobs = dict(
+            n_workers=n_workers, service_latency_s=service_latency_s,
+            storage_latency_s=storage_latency_s,
+            stale_tile_versions=stale_tile_versions)
+
+        self._scheme = TileScheme(tile_size)
+        full_store = TileStore.build(hdmap, tile_size)
+        self._store_blobs: Dict[TileId, bytes] = dict(full_store._blobs)
+        self._partition = self._scheme.partition(hdmap)
+        self._element_tile: Dict[ElementId, Optional[TileId]] = {}
+        for tile, elements in self._partition.items():
+            for element in elements:
+                self._element_tile[element.id] = tile
+        # Regulatory (non-spatial) elements have no tile; by convention
+        # they live on shard 0 and survive every rebalance there.
+        self._nonspatial = [e for e in hdmap.elements()
+                            if e.id not in self._element_tile]
+        for element in self._nonspatial:
+            self._element_tile[element.id] = None
+        self._all_tiles = sorted(set(self._store_blobs)
+                                 | set(self._partition))
+        self._owner: Dict[TileId, int] = ownership_map(
+            self._all_tiles, n_shards)
+
+        self._journal: List[_JournalEntry] = []
+        self._journal_lock = threading.Lock()   # leaf lock: append/copy
+        self._ingest_lock = threading.Lock()    # one writer at a time
+        self._spawn_lock = threading.Lock()     # no concurrent forks
+        self._version_lock = threading.Lock()
+        self._version_floor = 0
+
+        # cluster.* metrics: the standard per-kind latency/outcome
+        # aggregate plus router-specific counters, and a collector for
+        # merged per-shard histograms (fed by collect_shard_metrics()).
+        self.metrics = ServiceMetrics()
+        self.failovers = Counter()
+        self.restarts = Counter()
+        self.timeouts = Counter()
+        self.rebalances = Counter()
+        self.shards_gauge = Gauge()
+        self.shards_gauge.set(n_shards)
+        self._shard_latency: Dict[str, LatencyHistogram] = {}
+        self._shard_outcomes: Dict[str, int] = {}
+        if registry is not None:
+            self.register_into(registry)
+
+        self._handles: List[_ShardHandle] = []
+        for index in range(n_shards):
+            handle = _ShardHandle(index)
+            config = self._config_for(index, self._owner, n_shards)
+            handle.primary = self._spawn(config)
+            handle.lease_until = self._clock() + lease_s
+            for _ in range(replicas):
+                handle.replicas.append(self._spawn(config))
+            self._handles.append(handle)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        for handle in self._handles:
+            with handle.lock:
+                for shard in [handle.primary] + handle.replicas:
+                    if shard is None:
+                        continue
+                    try:
+                        shard.close()
+                    except Exception:
+                        pass
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- topology -------------------------------------------------------
+    def _owner_of(self, tile: Optional[TileId],
+                  owner: Dict[TileId, int], n_shards: int) -> int:
+        if tile is None:
+            return 0
+        got = owner.get(tile)
+        if got is not None:
+            return got
+        return consistent_hash_owner(tile, n_shards)
+
+    def owner_of_tile(self, tile: TileId) -> int:
+        """Current owning shard of ``tile``."""
+        return self._owner_of(tile, self._owner, self.n_shards)
+
+    def tiles(self) -> List[TileId]:
+        """Blob-backed tiles of the static base (the GetTile universe)."""
+        return sorted(self._store_blobs)
+
+    def _centre_tile(self, element) -> Optional[TileId]:
+        try:
+            min_x, min_y, max_x, max_y = element.bounds()
+        except NotImplementedError:
+            return None
+        return self._scheme.tile_of((min_x + max_x) / 2.0,
+                                    (min_y + max_y) / 2.0)
+
+    def _home_tile(self, op) -> Optional[TileId]:
+        """The tile that owns this op's element (first home wins)."""
+        if isinstance(op, RemoveElement):
+            eid = op.element_id
+            element = None
+        else:
+            eid = op.element.id
+            element = op.element
+        if eid in self._element_tile:
+            return self._element_tile[eid]
+        if element is None:
+            return None  # remove of an unknown id → shard 0 rejects it
+        return self._centre_tile(element)
+
+    def _config_for(self, index: int, owner: Dict[TileId, int],
+                    n_shards: int) -> ShardConfig:
+        owned = {tile for tile, shard in owner.items() if shard == index}
+        base = HDMap(f"{self._name}-shard{index}")
+        for tile in sorted(owned):
+            for element in self._partition.get(tile, []):
+                base.add(element)
+        if index == 0:
+            for element in self._nonspatial:
+                base.add(element)
+        blobs = {tile: self._store_blobs[tile]
+                 for tile in owned if tile in self._store_blobs}
+        return ShardConfig(
+            index=index, tile_size=self._scheme.tile_size,
+            base_map_bytes=encode_map(base), blobs=blobs,
+            replay=self._replay_for(index, owner, n_shards),
+            name=f"{self._name}-shard", **self._shard_knobs)
+
+    def _replay_for(self, index: int, owner: Dict[TileId, int],
+                    n_shards: int) -> List[MapPatch]:
+        with self._journal_lock:
+            entries = list(self._journal)
+        out: List[MapPatch] = []
+        for entry in entries:
+            ops = [op for tile, op in entry.ops
+                   if self._owner_of(tile, owner, n_shards) == index]
+            if ops:
+                out.append(MapPatch(ops=ops, source=entry.source,
+                                    confidence=entry.confidence))
+        return out
+
+    # -- shard lifecycle ------------------------------------------------
+    def _spawn(self, config: ShardConfig):
+        # Serialized: a fork that raced another spawn would inherit the
+        # other's not-yet-closed child socket end and break shard-death
+        # EOF detection.
+        with self._spawn_lock:
+            if self.transport == "local":
+                return LocalShard(config)
+            return ProcessShard(config, self._start_method)
+
+    def _restart_primary_locked(self, handle: _ShardHandle) -> None:
+        old = handle.primary
+        if old is not None:
+            try:
+                old.kill()
+            except Exception:
+                pass
+        config = self._config_for(handle.index, self._owner, self.n_shards)
+        handle.primary = self._spawn(config)
+        handle.lease_until = self._clock() + self.lease_s
+        self.restarts.add()
+        _log.warning("shard_restarted", shard=handle.index,
+                     replayed=len(config.replay))
+
+    def _restart_replica_locked(self, handle: _ShardHandle,
+                                slot: int) -> None:
+        try:
+            handle.replicas[slot].kill()
+        except Exception:
+            pass
+        config = self._config_for(handle.index, self._owner, self.n_shards)
+        handle.replicas[slot] = self._spawn(config)
+        self.restarts.add()
+        _log.warning("replica_restarted", shard=handle.index, replica=slot)
+
+    def _ensure_primary_locked(self, handle: _ShardHandle):
+        if handle.primary is None or not handle.primary.alive:
+            self._restart_primary_locked(handle)
+        elif self._clock() >= handle.lease_until:
+            # Lease expired quietly: reassert ownership with a ping
+            # before trusting the shard with more traffic.
+            try:
+                handle.primary.call("ping", timeout_s=self.call_timeout_s)
+                handle.lease_until = self._clock() + self.lease_s
+            except (ShardDead, ShardTimeout):
+                self._restart_primary_locked(handle)
+        return handle.primary
+
+    # -- versions -------------------------------------------------------
+    def _note_version(self, handle: _ShardHandle,
+                      version: Optional[int]) -> None:
+        if version is not None and version > handle.last_version:
+            handle.last_version = version
+
+    @property
+    def version(self) -> int:
+        """Monotone cluster version: clamped sum of shard versions.
+
+        The clamp makes the sequence non-decreasing even when a crash-
+        restart or rebalance changes how versions are distributed across
+        shards.
+        """
+        total = sum(h.last_version for h in self._handles)
+        with self._version_lock:
+            if total > self._version_floor:
+                self._version_floor = total
+            return self._version_floor
+
+    def version_vector(self) -> Dict[int, int]:
+        """Last observed per-shard versions (for incremental sync)."""
+        return {h.index: h.last_version for h in self._handles}
+
+    # -- reads ----------------------------------------------------------
+    def _replica_read_locked(self, handle: _ShardHandle, index: int,
+                             request: Request) -> Optional[Response]:
+        """Serve a read from the first live replica, or ``None``."""
+        for slot, replica in enumerate(handle.replicas):
+            if not replica.alive:
+                continue
+            try:
+                response = replica.call(
+                    "serve", request, timeout_s=self.call_timeout_s)
+            except (ShardDead, ShardTimeout):
+                continue
+            self.failovers.add()
+            _log.warning("read_failover", shard=index,
+                         replica=slot, kind=request.kind)
+            self._note_version(handle, response.version)
+            return response
+        return None
+
+    def _read(self, index: int, request: Request) -> Response:
+        """Pin a read to shard ``index``; fail over to a replica, then
+        to a journal-restarted primary. Never raises — routing failure
+        becomes an ERROR response, like any handler failure."""
+        handle = self._handles[index]
+        with handle.lock:
+            # A primary already observed dead costs nothing to detect;
+            # prefer a live replica over paying the journal-replay
+            # restart on the read path. The next write (which replicas
+            # cannot take) restarts it.
+            if handle.primary is None or not handle.primary.alive:
+                response = self._replica_read_locked(handle, index, request)
+                if response is not None:
+                    return response
+            try:
+                shard = self._ensure_primary_locked(handle)
+                response = shard.call("serve", request,
+                                      timeout_s=self.call_timeout_s)
+                handle.lease_until = self._clock() + self.lease_s
+                self._note_version(handle, response.version)
+                return response
+            except (ShardDead, ShardTimeout) as exc:
+                if isinstance(exc, ShardTimeout):
+                    self.timeouts.add()
+                # Leave the primary dead; the next write (or this read's
+                # last resort below) restarts it from the journal.
+                try:
+                    handle.primary.kill()
+                except Exception:
+                    pass
+                response = self._replica_read_locked(handle, index, request)
+                if response is not None:
+                    return response
+                try:
+                    self._restart_primary_locked(handle)
+                    response = handle.primary.call(
+                        "serve", request, timeout_s=self.call_timeout_s)
+                    self._note_version(handle, response.version)
+                    return response
+                except (ShardDead, ShardTimeout) as exc2:
+                    _log.error("shard_unavailable", shard=index,
+                               kind=request.kind, error=str(exc2))
+                    return Response(
+                        Status.ERROR,
+                        error=f"shard {index} unavailable: {exc2}")
+
+    def _gather(self, indices: List[int],
+                request: Request) -> List[Tuple[int, Response]]:
+        """Scatter one request to several shards concurrently."""
+        if len(indices) == 1:
+            return [(indices[0], self._read(indices[0], request))]
+        results: Dict[int, Response] = {}
+
+        def run(i: int) -> None:
+            try:
+                results[i] = self._read(i, request)
+            except Exception as exc:  # defensive: _read should not raise
+                results[i] = Response(Status.ERROR, error=str(exc))
+
+        threads = [threading.Thread(target=run, args=(i,), daemon=True)
+                   for i in indices]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return [(i, results[i]) for i in sorted(results)]
+
+    # -- writes ---------------------------------------------------------
+    def _match_applied(self, tile_ops, changes) -> List[Tuple]:
+        """Which of ``tile_ops`` the shard applied, from its change log.
+
+        Changes are recorded in op application order, so the applied ops
+        are an order-preserving subsequence match on (element id, change
+        type).
+        """
+        out = []
+        it = iter(changes)
+        change: Optional[MapChange] = next(it, None)
+        for tile, op in tile_ops:
+            if change is None:
+                break
+            eid = op.element_id if isinstance(op, RemoveElement) \
+                else op.element.id
+            if (change.element_id == eid
+                    and change.change_type is _CHANGE_FOR_OP[type(op)]):
+                out.append((tile, op))
+                change = next(it, None)
+        return out
+
+    def _write_shard(self, index: int, sub: MapPatch,
+                     tile_ops) -> Tuple[IngestResult, List[Tuple]]:
+        """Apply one sub-patch on its owning shard, exactly once.
+
+        A timeout/death mid-write is ambiguous; the restart-from-journal
+        erases any uncommitted effect, making the single retry safe.
+        """
+        handle = self._handles[index]
+        with handle.lock:
+            last_exc: Optional[Exception] = None
+            for _attempt in range(2):
+                try:
+                    shard = self._ensure_primary_locked(handle)
+                    response = shard.call(
+                        "serve", IngestPatch(patch=sub),
+                        timeout_s=self.call_timeout_s)
+                    if response.status is not Status.OK:
+                        raise ClusterError(
+                            f"shard {index} refused write: "
+                            f"{response.error}")
+                    result: IngestResult = response.payload
+                    applied = list(tile_ops)
+                    if result.accepted and result.dropped_ops:
+                        log = shard.call("changelog",
+                                         timeout_s=self.call_timeout_s)
+                        applied = self._match_applied(
+                            tile_ops, [c for v, c in log
+                                       if v == result.version])
+                    handle.lease_until = self._clock() + self.lease_s
+                    self._note_version(handle, result.version)
+                    return result, applied
+                except (ShardDead, ShardTimeout) as exc:
+                    last_exc = exc
+                    if isinstance(exc, ShardTimeout):
+                        self.timeouts.add()
+                    _log.warning("write_retry_after_restart", shard=index,
+                                 error=str(exc))
+                    self._restart_primary_locked(handle)
+            raise ClusterError(
+                f"shard {index} failed twice on write: {last_exc}")
+
+    def _replicate_locked(self, handle: _ShardHandle,
+                          patch: MapPatch) -> None:
+        for slot, replica in enumerate(handle.replicas):
+            try:
+                replica.call("apply", patch, timeout_s=self.call_timeout_s)
+            except (ShardDead, ShardTimeout, RpcError):
+                # Restart from the journal (which already holds this
+                # patch): the replica comes back caught-up.
+                self._restart_replica_locked(handle, slot)
+
+    def _ingest(self, request: IngestPatch, t0: float) -> Response:
+        patch = request.patch
+        if not patch.ops:
+            return Response(Status.OK,
+                            IngestResult(False, None, 0, "empty patch"))
+        with self._ingest_lock:
+            owner, n_shards = self._owner, self.n_shards
+            groups: Dict[int, List[Tuple[Optional[TileId], object]]] = {}
+            order: List[int] = []
+            for op in patch.ops:
+                tile = self._home_tile(op)
+                index = self._owner_of(tile, owner, n_shards)
+                if index not in groups:
+                    order.append(index)
+                groups.setdefault(index, []).append((tile, op))
+            results: List[IngestResult] = []
+            for index in order:
+                tile_ops = groups[index]
+                sub = MapPatch(ops=[op for _, op in tile_ops],
+                               source=patch.source,
+                               confidence=patch.confidence)
+                result, applied = self._write_shard(index, sub, tile_ops)
+                if result.accepted and applied:
+                    with self._journal_lock:
+                        entry = _JournalEntry(
+                            seq=len(self._journal), source=patch.source,
+                            confidence=patch.confidence, ops=applied)
+                        self._journal.append(entry)
+                    handle = self._handles[index]
+                    with handle.lock:
+                        self._replicate_locked(
+                            handle,
+                            MapPatch(ops=[op for _, op in applied],
+                                     source=patch.source,
+                                     confidence=patch.confidence))
+                    for tile, op in applied:
+                        if isinstance(op, (AddElement, ReplaceElement)):
+                            self._element_tile.setdefault(op.element.id,
+                                                          tile)
+                results.append(result)
+        if len(results) == 1:
+            merged = results[0]
+        else:
+            accepted = [r for r in results if r.accepted]
+            merged = IngestResult(
+                accepted=bool(accepted), version=None,
+                dropped_ops=sum(r.dropped_ops for r in results),
+                reason="; ".join(r.reason for r in results if r.reason))
+        if merged.accepted:
+            self.metrics.record_freshness(self._clock() - t0)
+        return Response(Status.OK, merged)
+
+    # -- scatter-gather merges ------------------------------------------
+    def _spatial(self, request: SpatialQuery) -> Response:
+        x, y, radius = request.x, request.y, request.radius
+        bounds = (x - radius, y - radius, x + radius, y + radius)
+        owner, n_shards = self._owner, self.n_shards
+        targets = sorted({self._owner_of(t, owner, n_shards)
+                          for t in self._scheme.tiles_for_bounds(bounds)})
+        merged: List[object] = []
+        seen = set()
+        for index, response in self._gather(targets, request):
+            if not response.ok:
+                return response
+            # Border elements are replicated into every tile they
+            # intersect, so adjacent shards return identical copies:
+            # dedup by id, shard order for determinism.
+            for element in response.payload:
+                if element.id not in seen:
+                    seen.add(element.id)
+                    merged.append(element)
+        return Response(Status.OK, merged)
+
+    def bootstrap(self) -> Tuple[HDMap, Dict[int, int]]:
+        """Merged full-map snapshot plus the per-shard version vector it
+        was captured at (the cluster client's bootstrap payload)."""
+        owner, n_shards = self._owner, self.n_shards
+        indices = list(range(n_shards))
+        merged = HDMap(f"{self._name}@cluster")
+        vector: Dict[int, int] = {}
+        for index, response in self._gather(indices, Snapshot()):
+            if not response.ok:
+                raise ClusterError(
+                    f"snapshot failed on shard {index}: {response.error}")
+            snap: HDMap = response.payload
+            vector[index] = snap.version
+            self._note_version(self._handles[index], snap.version)
+            for element in snap.elements():
+                # Dynamic state is centre-partitioned and therefore
+                # disjoint — except after a rebalance, when the old
+                # owner still holds stale copies of moved elements.
+                # Current ownership decides which copy is authoritative.
+                home = self._element_tile.get(element.id,
+                                              self._centre_tile(element))
+                if self._owner_of(home, owner, n_shards) == index:
+                    merged.add(element)
+        merged.version = self.version
+        return merged, vector
+
+    def _snapshot(self, request: Snapshot) -> Response:
+        merged, _ = self.bootstrap()
+        return Response(Status.OK, merged)
+
+    def _collect_deltas(self, since: Dict[int, int]) -> "ClusterDelta":
+        from repro.cluster.client import ClusterDelta
+
+        owner, n_shards = self._owner, self.n_shards
+        deltas: Dict[int, SyncDelta] = {}
+        versions: Dict[int, int] = {}
+        for index in range(n_shards):
+            request = ChangesSince(since_version=since.get(index, 0))
+            response = self._read(index, request)
+            if not response.ok:
+                raise ClusterError(
+                    f"changes_since failed on shard {index}: "
+                    f"{response.error}")
+            delta: SyncDelta = response.payload
+            self._note_version(self._handles[index], delta.version)
+            changes = []
+            elements = {}
+            for change in delta.changes:
+                home = self._element_tile.get(change.element_id)
+                if (home is None
+                        and change.element_id not in self._element_tile):
+                    home = self._scheme.tile_of(*change.position)
+                if self._owner_of(home, owner, n_shards) != index:
+                    continue  # stale copy of a rebalanced-away element
+                changes.append(change)
+                if change.element_id in delta.elements:
+                    elements[change.element_id] = \
+                        delta.elements[change.element_id]
+            deltas[index] = SyncDelta(delta.version, changes, elements)
+            versions[index] = delta.version
+        return ClusterDelta(version=self.version, versions=versions,
+                            deltas=deltas)
+
+    def changes_since(self, since: Dict[int, int]) -> "ClusterDelta":
+        """Incremental sync against a per-shard version vector."""
+        return self._collect_deltas(dict(since))
+
+    def _changes_broadcast(self, request: ChangesSince) -> Response:
+        since = {index: request.since_version
+                 for index in range(self.n_shards)}
+        delta = self._collect_deltas(since)
+        return Response(Status.OK, delta)
+
+    # -- the front door -------------------------------------------------
+    def request(self, request: Request) -> Response:
+        """Route one request; returns a :class:`Response` whose
+        ``version`` is the cluster version."""
+        t0 = self._clock()
+        try:
+            if isinstance(request, GetTile):
+                response = self._read(self.owner_of_tile(request.tile),
+                                      request)
+            elif isinstance(request, SpatialQuery):
+                response = self._spatial(request)
+            elif isinstance(request, IngestPatch):
+                response = self._ingest(request, t0)
+            elif isinstance(request, Snapshot):
+                response = self._snapshot(request)
+            elif isinstance(request, ChangesSince):
+                response = self._changes_broadcast(request)
+            else:
+                raise ClusterError(
+                    f"unknown request type {type(request).__name__}")
+        except Exception as exc:
+            response = Response(Status.ERROR,
+                                error=f"{type(exc).__name__}: {exc}")
+        latency = self._clock() - t0
+        out = Response(
+            status=response.status, payload=response.payload,
+            version=self.version if response.ok else response.version,
+            latency_s=latency, error=response.error,
+            staleness=response.staleness)
+        self.metrics.record(request.kind, out.status.value, latency)
+        return out
+
+    # -- rebalance ------------------------------------------------------
+    def rebalance(self, n_shards: int) -> int:
+        """Grow the cluster to ``n_shards``; returns tiles moved.
+
+        New shards boot from their owned base subset plus a journal
+        replay, then the ownership map is swapped. Old shards are not
+        restarted — their stale moved-tile state stays in place but is
+        filtered out of every merge by current ownership. Writes are
+        stopped for the duration (the ingest lock); reads keep flowing.
+        """
+        if n_shards < self.n_shards:
+            raise ClusterError("rebalance cannot shrink the cluster")
+        if n_shards == self.n_shards:
+            return 0
+        with self._ingest_lock:
+            old_owner = self._owner
+            new_owner = ownership_map(self._all_tiles, n_shards)
+            moved = sum(1 for tile in self._all_tiles
+                        if old_owner[tile] != new_owner[tile])
+            for index in range(self.n_shards, n_shards):
+                handle = _ShardHandle(index)
+                config = self._config_for(index, new_owner, n_shards)
+                handle.primary = self._spawn(config)
+                handle.lease_until = self._clock() + self.lease_s
+                for _ in range(self.replicas):
+                    handle.replicas.append(self._spawn(config))
+                self._handles.append(handle)
+            self._owner = new_owner
+            self.n_shards = n_shards
+            self.shards_gauge.set(n_shards)
+            self.rebalances.add()
+            _log.info("rebalance_completed", shards=n_shards,
+                      tiles_moved=moved,
+                      total_tiles=len(self._all_tiles))
+        return moved
+
+    # -- chaos seams ----------------------------------------------------
+    def kill_shard(self, index: int) -> None:
+        """Injected crash: kill the primary *without* taking its lock —
+        exactly like a real crash mid-request. The next touch fails over
+        / restarts."""
+        handle = self._handles[index]
+        primary = handle.primary
+        if primary is not None:
+            try:
+                primary.kill()
+            except Exception:
+                pass
+        _log.warning("shard_killed", shard=index, injected=True)
+
+    def slow_shard(self, index: int, delay_s: float,
+                   count: int = 1) -> None:
+        """Injected slowness: the shard's next ``count`` dispatches
+        sleep ``delay_s`` before answering."""
+        handle = self._handles[index]
+        with handle.lock:
+            try:
+                handle.primary.call(
+                    "slow", {"delay_s": delay_s, "count": count},
+                    timeout_s=self.call_timeout_s)
+            except (ShardDead, ShardTimeout, RpcError):
+                pass
+        _log.warning("shard_slowed", shard=index, delay_s=delay_s,
+                     count=count, injected=True)
+
+    # -- observability --------------------------------------------------
+    def collect_shard_metrics(self) -> Dict[int, Dict[str, object]]:
+        """Poll every shard's metrics (primary, or a live replica when
+        the primary is down); fold latency histograms into the
+        ``cluster.shard.latency.<kind>`` merge and sum outcome
+        counters. Returns the raw per-shard snapshots."""
+        merged: Dict[str, LatencyHistogram] = {}
+        outcomes: Dict[str, int] = {}
+        per_shard: Dict[int, Dict[str, object]] = {}
+        for handle in self._handles:
+            with handle.lock:
+                shipped = None
+                candidates = [handle.primary] + list(handle.replicas)
+                for shard in candidates:
+                    if shard is None or not shard.alive:
+                        continue
+                    try:
+                        shipped = shard.call(
+                            "metrics", timeout_s=self.call_timeout_s)
+                        break
+                    except (ShardDead, ShardTimeout, RpcError):
+                        continue
+                if shipped is None:
+                    continue
+            per_shard[handle.index] = shipped["snapshot"]
+            for kind, hist in shipped["latency"].items():
+                if kind in merged:
+                    merged[kind].merge(hist)
+                else:
+                    merged[kind] = hist
+            for key, value in shipped["outcomes"].items():
+                outcomes[key] = outcomes.get(key, 0) + value
+        self._shard_latency = merged
+        self._shard_outcomes = outcomes
+        return per_shard
+
+    def shard_events(self) -> List[Dict[str, object]]:
+        """Drain every shard process's event log, tagged with a
+        ``shard`` label, merged by timestamp. (In-process shards log
+        straight into the router's global event log instead.)"""
+        out: List[Dict[str, object]] = []
+        for handle in self._handles:
+            with handle.lock:
+                if handle.primary is None or not handle.primary.alive:
+                    continue
+                try:
+                    events = handle.primary.call(
+                        "events", timeout_s=self.call_timeout_s)
+                except (ShardDead, ShardTimeout, RpcError):
+                    continue
+            for event in events:
+                tagged = dict(event)
+                tagged["shard"] = handle.index
+                out.append(tagged)
+        out.sort(key=lambda e: e.get("ts", 0.0))
+        return out
+
+    def shard_changelog(self, index: int) -> List[Tuple[int, MapChange]]:
+        """One shard's full ``(version, change)`` log (chaos invariant
+        checks read these)."""
+        handle = self._handles[index]
+        with handle.lock:
+            shard = self._ensure_primary_locked(handle)
+            return shard.call("changelog", timeout_s=self.call_timeout_s)
+
+    def journal_entries(self) -> List[_JournalEntry]:
+        with self._journal_lock:
+            return list(self._journal)
+
+    def register_into(self, registry: MetricsRegistry,
+                      prefix: str = "cluster") -> None:
+        """Register router metrics under canonical ``cluster.*`` names:
+
+        - ``cluster.latency.<kind>`` / ``cluster.requests.<kind>.<status>``
+          / ``cluster.rejected|shed|errors`` / ``cluster.freshness``
+          (the standard serving aggregate, router-side);
+        - ``cluster.failovers`` / ``cluster.restarts`` /
+          ``cluster.timeouts`` / ``cluster.rebalances`` /
+          ``cluster.shards``;
+        - ``cluster.shard.latency.<kind>`` — per-shard histograms merged
+          by :meth:`collect_shard_metrics`, and
+          ``cluster.shard.requests.<kind>.<status>`` summed across
+          shards.
+        """
+        self.metrics.register_into(registry, prefix=prefix)
+        registry.register(f"{prefix}.failovers", self.failovers)
+        registry.register(f"{prefix}.restarts", self.restarts)
+        registry.register(f"{prefix}.timeouts", self.timeouts)
+        registry.register(f"{prefix}.rebalances", self.rebalances)
+        registry.register(f"{prefix}.shards", self.shards_gauge)
+
+        def collect() -> Dict[str, object]:
+            out: Dict[str, object] = {}
+            for kind, hist in self._shard_latency.items():
+                out[f"{prefix}.shard.latency.{kind}"] = hist
+            for key, value in self._shard_outcomes.items():
+                out[f"{prefix}.shard.requests.{key}"] = value
+            return out
+
+        registry.register_collector(collect)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "shards": self.n_shards,
+            "replicas": self.replicas,
+            "transport": self.transport,
+            "version": self.version,
+            "version_vector": self.version_vector(),
+            "journal_entries": len(self.journal_entries()),
+            "tiles": len(self._all_tiles),
+            "failovers": self.failovers.value,
+            "restarts": self.restarts.value,
+            "timeouts": self.timeouts.value,
+            "rebalances": self.rebalances.value,
+        }

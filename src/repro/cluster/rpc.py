@@ -1,0 +1,139 @@
+"""Length-prefixed pickle RPC between the router and shard processes.
+
+Wire format, chosen for debuggability over cleverness: every frame is a
+fixed 12-byte header — ``!QI`` request id (8 bytes) + payload length
+(4 bytes) — followed by a pickled body. Requests carry ``(op, payload)``
+tuples; replies carry ``("ok", result)`` or ``("err", message)``. The
+request id is echoed back in the reply header, so a router that timed
+out on a slow shard and moved on can recognise and discard the late
+reply instead of mis-attributing it to the next request — without that,
+one slow reply would desynchronise the connection forever.
+
+Failure taxonomy (what the router's failover logic keys on):
+
+- :class:`ShardTimeout` — the reply did not arrive inside the call
+  timeout. The shard may be slow or wedged; the request may or may not
+  have been applied (ambiguity the router must resolve before retrying
+  a write).
+- :class:`ShardDead` — the peer closed the socket or the read hit a
+  reset: the process is gone. Reads fail over to a replica; writes are
+  re-driven against a restarted primary rebuilt from the journal.
+- :class:`RpcError` — the shard handled the request and raised; the
+  error travelled back cleanly (no failover, the shard is healthy).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Optional, Tuple
+
+_HEADER = struct.Struct("!QI")
+
+
+class RpcError(Exception):
+    """The remote handler raised; the shard itself is healthy."""
+
+
+class ShardDead(Exception):
+    """The shard process is gone (EOF / reset on its socket)."""
+
+
+class ShardTimeout(Exception):
+    """No reply within the call timeout; the shard may be wedged."""
+
+
+def send_frame(sock: socket.socket, request_id: int, body: Any) -> None:
+    """Pickle ``body`` and write one framed message."""
+    raw = pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        sock.sendall(_HEADER.pack(request_id, len(raw)) + raw)
+    except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+        raise ShardDead(f"send failed: {exc}") from None
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            raise ShardTimeout("recv timed out") from None
+        except (ConnectionResetError, OSError) as exc:
+            raise ShardDead(f"recv failed: {exc}") from None
+        if not chunk:
+            raise ShardDead("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, Any]:
+    """Read one framed message; returns ``(request_id, body)``."""
+    request_id, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    return request_id, pickle.loads(_recv_exact(sock, length))
+
+
+class RpcConnection:
+    """The router's end of one shard socket: lockstep request/reply.
+
+    One request is in flight at a time (callers serialize through the
+    shard handle's lock). Late replies from a previous timed-out request
+    are recognised by id and discarded, so a timeout does not poison the
+    stream for the caller that follows.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._next_id = 1
+
+    def call(self, op: str, payload: Any = None,
+             timeout_s: Optional[float] = None) -> Any:
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.settimeout(timeout_s)
+        send_frame(self._sock, request_id, (op, payload))
+        while True:
+            reply_id, body = recv_frame(self._sock)
+            if reply_id != request_id:
+                continue  # stale reply from a timed-out predecessor
+            status, result = body
+            if status == "err":
+                raise RpcError(str(result))
+            return result
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def serve_connection(sock: socket.socket, dispatch) -> None:
+    """Shard-side loop: read frames, dispatch, reply until EOF.
+
+    ``dispatch(op, payload)`` returns the result or raises; exceptions
+    are shipped back as ``("err", message)`` so a handler bug never
+    kills the shard loop. A dispatch that calls ``os._exit`` (the
+    injected-crash fault) simply never replies.
+    """
+    sock.settimeout(None)
+    while True:
+        try:
+            request_id, (op, payload) = recv_frame(sock)
+        except (ShardDead, ShardTimeout):
+            return
+        if op == "shutdown":
+            send_frame(sock, request_id, ("ok", None))
+            return
+        try:
+            result = dispatch(op, payload)
+            body = ("ok", result)
+        except Exception as exc:  # ship the failure, keep serving
+            body = ("err", f"{type(exc).__name__}: {exc}")
+        try:
+            send_frame(sock, request_id, body)
+        except ShardDead:
+            return

@@ -1,0 +1,179 @@
+"""Shard process: a full MapService over one shard's tile subset.
+
+A shard is an ordinary single-node serving stack —
+:class:`~repro.update.distribution.MapDistributionServer` (authoritative
+dynamic state) + :class:`~repro.storage.tilestore.TileStore` (static tile
+blobs) + :class:`~repro.serve.service.MapService` (worker pool, cache,
+admission) — scoped to the tiles rendezvous hashing assigned it. The
+router hands each shard a fully picklable :class:`ShardConfig` at boot:
+
+- ``base_map_bytes``: the encoded disjoint subset of the base map whose
+  elements' centre tiles this shard owns (the authoritative dynamic
+  partition — every element has exactly one home shard);
+- ``blobs``: the shard's owned tiles' blobs, sliced from a *full-map*
+  ``TileStore.build``, so border elements are replicated exactly as on a
+  single node and ``GetTile`` payloads are byte-identical regardless of
+  which shard serves them;
+- ``replay``: the journal suffix of accepted sub-patches this shard must
+  re-apply. Replay runs through the same ingest path (same conflict
+  policy, same order), so a restarted shard reconstructs the exact
+  dynamic state — versions, change log, and all — that the dead primary
+  had acknowledged. That replay is the whole failover story: acked
+  writes live in the router's journal, so no shard death can lose them.
+
+The same backend runs in two transports: in-process (``LocalShard`` in
+the router module — unit tests, doc tooling) and as a forked child
+(:func:`shard_main`) speaking the length-prefixed RPC of
+:mod:`repro.cluster.rpc` over a socketpair.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.tiles import TileId
+from repro.core.versioning import MapPatch
+from repro.obs.log import EVENT_LOG
+from repro.serve.api import Request
+from repro.serve.service import MapService
+from repro.storage.binary import decode_map
+from repro.storage.tilestore import TileStore
+from repro.update.distribution import ConflictPolicy, MapDistributionServer
+
+
+@dataclass
+class ShardConfig:
+    """Everything a shard process needs to boot, in picklable form."""
+
+    index: int
+    tile_size: float
+    base_map_bytes: bytes
+    blobs: Dict[TileId, bytes] = field(default_factory=dict)
+    replay: List[MapPatch] = field(default_factory=list)
+    n_workers: int = 2
+    service_latency_s: float = 0.0
+    storage_latency_s: float = 0.0
+    stale_tile_versions: int = 0
+    name: str = "shard"
+
+
+class ShardBackend:
+    """The shard-side dispatch table over a private serving stack."""
+
+    def __init__(self, config: ShardConfig) -> None:
+        self.config = config
+        base = decode_map(config.base_map_bytes)
+        self.server = MapDistributionServer(base)
+        store = TileStore.from_blobs(config.blobs, config.tile_size)
+        self.service = MapService(
+            self.server, store,
+            n_workers=config.n_workers,
+            service_latency_s=config.service_latency_s,
+            storage_latency_s=config.storage_latency_s,
+            stale_tile_versions=config.stale_tile_versions)
+        for patch in config.replay:
+            # The journal stores *effective* patches — the ops the dead
+            # primary actually applied after conflict resolution — so
+            # replay applies them verbatim (LAST_WRITER_WINS never drops)
+            # and reconstructs the exact acked state: one version per
+            # entry, same elements, same change log shape.
+            self.server.ingest(patch, policy=ConflictPolicy.LAST_WRITER_WINS)
+        # Injected slowness (the cluster.slow_shard fault): the next
+        # ``count`` dispatches sleep ``delay_s`` before answering.
+        self._slow_lock = threading.Lock()
+        self._slow_delay_s = 0.0
+        self._slow_count = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ShardBackend":
+        self.service.start()
+        return self
+
+    def stop(self) -> None:
+        self.service.stop()
+
+    # -- dispatch -------------------------------------------------------
+    def _maybe_slow(self) -> None:
+        with self._slow_lock:
+            if self._slow_count <= 0:
+                return
+            self._slow_count -= 1
+            delay = self._slow_delay_s
+        time.sleep(delay)
+
+    def dispatch(self, op: str, payload: Any) -> Any:
+        self._maybe_slow()
+        if op == "serve":
+            assert isinstance(payload, Request)
+            return self.service.request(payload, timeout=30.0)
+        if op == "apply":
+            # Replica write path: apply an effective (post-conflict-
+            # resolution) patch verbatim, exactly as journal replay does,
+            # so replicas track the primary version-for-version.
+            assert isinstance(payload, MapPatch)
+            return self.server.ingest(
+                payload, policy=ConflictPolicy.LAST_WRITER_WINS)
+        if op == "ping":
+            return "pong"
+        if op == "version":
+            return self.server.version
+        if op == "changelog":
+            return self.changelog()
+        if op == "metrics":
+            metrics = self.service.metrics
+            return {
+                "snapshot": metrics.snapshot(),
+                "latency": metrics.latency_histograms(),
+                "outcomes": metrics.outcome_counts(),
+            }
+        if op == "events":
+            return EVENT_LOG.events()
+        if op == "slow":
+            with self._slow_lock:
+                self._slow_delay_s = float(payload["delay_s"])
+                self._slow_count = int(payload["count"])
+            return None
+        if op == "crash":
+            # Injected fault: die without replying (process mode only;
+            # LocalShard intercepts this op before dispatch).
+            os._exit(17)
+        raise ValueError(f"unknown shard op {op!r}")
+
+    def changelog(self) -> List[Tuple[int, object]]:
+        """The shard's full ``(version, MapChange)`` log, atomically."""
+        with self.server._lock:
+            return list(self.server.db.log.entries)
+
+
+def _post_fork_sanitize() -> None:
+    """Make inherited global state safe and quiet in a forked child.
+
+    Fork can snapshot locks mid-acquisition by a router thread; every
+    lock the child might touch through module globals is replaced with a
+    fresh one. The inherited event ring is cleared so the shard ships
+    only its *own* events when the router polls them.
+    """
+    EVENT_LOG._lock = threading.Lock()
+    EVENT_LOG._events.clear()
+    for counter in EVENT_LOG.counts_by_level.values():
+        counter._lock = threading.Lock()
+
+
+def shard_main(config: ShardConfig, sock) -> None:
+    """Child-process entrypoint: boot the backend and serve the socket."""
+    from repro.cluster.rpc import serve_connection
+
+    _post_fork_sanitize()
+    backend = ShardBackend(config).start()
+    try:
+        serve_connection(sock, backend.dispatch)
+    finally:
+        backend.stop()
+        try:
+            sock.close()
+        except OSError:
+            pass

@@ -32,7 +32,12 @@ from repro.core.elements import (
 from repro.core.hdmap import HDMap
 from repro.core.ids import ElementId, IdAllocator
 from repro.core.regulatory import RegulatoryElement, RuleType
-from repro.core.tiles import TileId, TileScheme
+from repro.core.tiles import (
+    TileId,
+    TileScheme,
+    consistent_hash_owner,
+    ownership_map,
+)
 from repro.core.validation import Severity, ValidationIssue, validate_map
 from repro.core.versioning import (
     AddElement,
@@ -70,6 +75,8 @@ __all__ = [
     "StopLine",
     "TileId",
     "TileScheme",
+    "consistent_hash_owner",
+    "ownership_map",
     "TrafficLight",
     "TrafficSign",
     "ValidationIssue",

@@ -8,6 +8,7 @@ flags as an open data-management problem [73].
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
@@ -26,6 +27,38 @@ class TileId:
 
     def __str__(self) -> str:
         return f"tile({self.tx},{self.ty})"
+
+
+def _rendezvous_score(tile: TileId, shard: int) -> int:
+    digest = hashlib.blake2b(f"{tile.tx},{tile.ty}|{shard}".encode(),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def consistent_hash_owner(tile_id: TileId, n_shards: int) -> int:
+    """Stable tile→shard assignment via rendezvous (HRW) hashing.
+
+    Every ``(tile, shard)`` pair gets a deterministic score; the shard
+    with the highest score owns the tile. Growing the cluster from N to
+    N+1 shards therefore moves a tile only when the *new* shard wins its
+    score contest — an expected 1/(N+1) fraction of tiles — while every
+    other assignment is untouched. That bounded movement is what lets a
+    live cluster rebalance by replaying only the moved tiles' state
+    instead of reshuffling everything (modulo hashing would move
+    ~N/(N+1) of them).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_shards == 1:
+        return 0
+    return max(range(n_shards),
+               key=lambda shard: _rendezvous_score(tile_id, shard))
+
+
+def ownership_map(tiles: Iterable[TileId],
+                  n_shards: int) -> Dict[TileId, int]:
+    """``{tile: owning shard}`` for a whole tile set (one hash pass)."""
+    return {tile: consistent_hash_owner(tile, n_shards) for tile in tiles}
 
 
 class TileScheme:

@@ -57,3 +57,7 @@ class UpdateError(HDMapError):
 
 class IngestError(HDMapError):
     """An observation or batch failed ingestion (validation, staging)."""
+
+
+class ClusterError(HDMapError):
+    """A sharded-cluster operation failed (routing, failover, rebalance)."""

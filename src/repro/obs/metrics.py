@@ -26,7 +26,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 
 class Counter:
-    """A thread-safe monotonically increasing counter."""
+    """A thread-safe monotonically increasing counter.
+
+    Picklable: the lock is dropped on serialization and recreated on
+    load, so counters can cross a process boundary (shard→router
+    metric shipping) without ad-hoc dict shims.
+    """
 
     __slots__ = ("_lock", "_value")
 
@@ -43,9 +48,20 @@ class Counter:
         with self._lock:
             return self._value
 
+    def __getstate__(self) -> Dict[str, int]:
+        with self._lock:
+            return {"value": self._value}
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self._lock = threading.Lock()
+        self._value = state["value"]
+
 
 class Gauge:
-    """A thread-safe last-value gauge (queue depths, in-flight counts)."""
+    """A thread-safe last-value gauge (queue depths, in-flight counts).
+
+    Picklable on the same terms as :class:`Counter`.
+    """
 
     __slots__ = ("_lock", "_value")
 
@@ -61,6 +77,14 @@ class Gauge:
     def value(self) -> int:
         with self._lock:
             return self._value
+
+    def __getstate__(self) -> Dict[str, int]:
+        with self._lock:
+            return {"value": self._value}
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self._lock = threading.Lock()
+        self._value = state["value"]
 
 
 #: Log-spaced bucket upper bounds (seconds): 0.1 ms .. 10 s, then +inf.
@@ -205,6 +229,28 @@ class LatencyHistogram:
             "p95_s": self.percentile(95.0),
             "p99_s": self.percentile(99.0),
         }
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Picklable state (lock dropped): histograms cross the shard
+        process boundary and are folded with :meth:`merge` on arrival."""
+        with self._lock:
+            return {
+                "bounds": self.bounds,
+                "counts": list(self._counts),
+                "total_s": self._total_s,
+                "count": self._count,
+                "min_s": self._min_s,
+                "max_s": self._max_s,
+            }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.bounds = tuple(state["bounds"])  # type: ignore[arg-type]
+        self._lock = threading.Lock()
+        self._counts = list(state["counts"])  # type: ignore[arg-type]
+        self._total_s = float(state["total_s"])  # type: ignore[arg-type]
+        self._count = int(state["count"])  # type: ignore[arg-type]
+        self._min_s = float(state["min_s"])  # type: ignore[arg-type]
+        self._max_s = float(state["max_s"])  # type: ignore[arg-type]
 
     def as_dict(self) -> Dict[str, float]:
         return self.snapshot()

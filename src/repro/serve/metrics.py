@@ -52,6 +52,30 @@ class ServiceMetrics:
         """Surface a tile cache's counters in :meth:`snapshot`."""
         self._cache = cache
 
+    # Pickling crosses the shard RPC boundary: locks are rebuilt on the
+    # receiving side and the attached cache (live object, process-local)
+    # is dropped — only the counters/histograms travel.
+    def __getstate__(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "latency": dict(self._latency),
+                "outcomes": dict(self._outcomes),
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "errors": self.errors,
+                "freshness": self.freshness,
+            }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._lock = threading.Lock()
+        self._latency = dict(state["latency"])  # type: ignore[arg-type]
+        self._outcomes = dict(state["outcomes"])  # type: ignore[arg-type]
+        self.rejected = state["rejected"]
+        self.shed = state["shed"]
+        self.errors = state["errors"]
+        self.freshness = state["freshness"]
+        self._cache = None
+
     def record_freshness(self, lag_s: float) -> None:
         """Record one observation-enqueue -> served-version lag."""
         self.freshness.record(lag_s)
@@ -80,6 +104,24 @@ class ServiceMetrics:
             self.shed.add()
         elif status == "rejected":
             self.rejected.add()
+
+    def latency_histograms(self) -> Dict[str, LatencyHistogram]:
+        """Live per-request-kind latency histograms (plus ``freshness``).
+
+        Histograms are picklable, so a shard process can ship this dict
+        over the cluster RPC and the router can fold each one into its
+        cluster-wide aggregate with :meth:`LatencyHistogram.merge`.
+        """
+        with self._lock:
+            out = dict(self._latency)
+        out["freshness"] = self.freshness
+        return out
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """``{"<kind>.<status>": count}`` for cross-process aggregation."""
+        with self._lock:
+            return {f"{kind}.{status}": counter.value
+                    for (kind, status), counter in self._outcomes.items()}
 
     def completed(self) -> int:
         """Requests answered OK across all kinds."""

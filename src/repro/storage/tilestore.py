@@ -57,6 +57,19 @@ class TileStoreStats:
         total = self.hits + self.loads
         return self.hits / total if total else 0.0
 
+    def __getstate__(self) -> Dict[str, int]:
+        """Picklable counter state (the lock is dropped and recreated on
+        load) so stats can cross a shard process boundary intact."""
+        with self._lock:
+            return {"loads": self.loads, "evictions": self.evictions,
+                    "hits": self.hits}
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self.loads = state["loads"]
+        self.evictions = state["evictions"]
+        self.hits = state["hits"]
+        self._lock = threading.Lock()
+
     def as_dict(self) -> Dict[str, float]:
         """Point-in-time counter values for metrics export."""
         with self._lock:
@@ -99,6 +112,20 @@ class TileStore:
             for element in elements:
                 shard.add(element)
             store._blobs[tile] = encode_map(shard)
+        return store
+
+    @staticmethod
+    def from_blobs(blobs: Dict[TileId, bytes],
+                   tile_size: float = 500.0) -> "TileStore":
+        """A store over pre-encoded tile blobs (no re-partitioning).
+
+        The cluster layer uses this to hand each shard process exactly
+        its owned tiles' blobs — byte-identical to the slices of a
+        full-map :meth:`build`, so ``GetTile`` payloads do not depend on
+        which shard serves them.
+        """
+        store = TileStore(tile_size)
+        store._blobs = dict(blobs)
         return store
 
     def tiles(self) -> List[TileId]:

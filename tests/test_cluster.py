@@ -1,0 +1,355 @@
+"""repro.cluster: hashing, RPC picklability, routing, failover, chaos."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    CLUSTER_SHARD_CRASH,
+    ClusterChaosHarness,
+    ClusterWorkload,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.cluster import ClusterMapClient, ClusterRouter
+from repro.core import MapPatch, SignType, TrafficSign
+from repro.core.tiles import TileId, consistent_hash_owner, ownership_map
+from repro.errors import ClusterError
+from repro.obs.metrics import Counter, Gauge, LatencyHistogram
+from repro.serve.api import (
+    ChangesSince,
+    GetTile,
+    IngestPatch,
+    Response,
+    Snapshot,
+    SpatialQuery,
+    Status,
+)
+from repro.serve.metrics import ServiceMetrics
+from repro.storage.tilestore import TileStore, TileStoreStats
+
+TILE_GRID = [TileId(x, y) for x in range(16) for y in range(16)]
+
+
+def _local_router(city, **kw):
+    kw.setdefault("n_shards", 2)
+    kw.setdefault("tile_size", 120.0)
+    kw.setdefault("transport", "local")
+    return ClusterRouter(city, **kw)
+
+
+def _sign_patch(city, position, confidence=0.9, source="probe"):
+    eid = city.new_id("cluster-test-sign")
+    patch = MapPatch(source=source, confidence=confidence)
+    patch.add(TrafficSign(id=eid, position=np.asarray(position, float),
+                          sign_type=SignType.DIRECTION))
+    return eid, patch
+
+
+class TestConsistentHash:
+    def test_owner_in_range_and_deterministic(self):
+        for tile in TILE_GRID:
+            owner = consistent_hash_owner(tile, 5)
+            assert 0 <= owner < 5
+            assert owner == consistent_hash_owner(tile, 5)
+
+    def test_all_shards_get_tiles(self):
+        owners = {consistent_hash_owner(t, 4) for t in TILE_GRID}
+        assert owners == {0, 1, 2, 3}
+
+    def test_growth_moves_bounded_fraction(self):
+        # Rendezvous hashing: growing N -> N+1 relocates ~1/(N+1) of the
+        # keys; anything approaching a modulo re-hash (N/(N+1)) is a bug.
+        for n in (2, 4, 8):
+            before = {t: consistent_hash_owner(t, n) for t in TILE_GRID}
+            after = {t: consistent_hash_owner(t, n + 1) for t in TILE_GRID}
+            moved = [t for t in TILE_GRID if before[t] != after[t]]
+            assert 0 < len(moved) / len(TILE_GRID) < 2.5 / (n + 1)
+            # every relocated tile lands on the *new* shard
+            assert all(after[t] == n for t in moved)
+
+    def test_ownership_map_matches_pointwise(self):
+        got = ownership_map(TILE_GRID, 3)
+        assert got == {t: consistent_hash_owner(t, 3) for t in TILE_GRID}
+
+
+class TestPicklability:
+    """Everything that crosses the shard RPC boundary must pickle."""
+
+    def test_requests_and_response_round_trip(self, city):
+        eid, patch = _sign_patch(city, (10.0, 20.0))
+        for request in (GetTile(tile=TileId(0, 0), encoded=True),
+                        SpatialQuery(x=1.0, y=2.0, radius=50.0),
+                        ChangesSince(since_version=3),
+                        Snapshot(),
+                        IngestPatch(patch=patch)):
+            clone = pickle.loads(pickle.dumps(request))
+            assert type(clone) is type(request)
+        response = Response(status=Status.OK, payload=b"blob", version=7)
+        clone = pickle.loads(pickle.dumps(response))
+        assert clone.ok and clone.payload == b"blob" and clone.version == 7
+
+    def test_tile_store_stats_round_trip(self):
+        stats = TileStoreStats()
+        stats.record_hit()
+        stats.record_load()
+        clone = pickle.loads(pickle.dumps(stats))
+        assert (clone.hits, clone.loads, clone.evictions) == (1, 1, 0)
+        clone.record_hit()  # the rebuilt lock must be usable
+        assert clone.hits == 2
+
+    def test_metric_primitives_round_trip(self):
+        counter = Counter()
+        counter.add(3)
+        gauge = Gauge()
+        gauge.set(11)
+        hist = LatencyHistogram()
+        hist.record(0.004)
+        hist.record(0.250)
+        c2, g2, h2 = pickle.loads(pickle.dumps((counter, gauge, hist)))
+        assert c2.value == 3 and g2.value == 11
+        assert h2.count == 2 and h2.snapshot() == hist.snapshot()
+        merged = LatencyHistogram()
+        merged.merge(h2)  # unpickled histograms feed snapshot merging
+        assert merged.count == 2
+
+    def test_service_metrics_round_trip(self):
+        metrics = ServiceMetrics()
+        metrics.record_freshness(0.01)
+        clone = pickle.loads(pickle.dumps(metrics))
+        assert clone.freshness.count == 1
+
+
+class TestRouting:
+    def test_get_tile_byte_parity_with_single_store(self, city):
+        store = TileStore.build(city, 120.0)
+        with _local_router(city) as router:
+            for tile in store.tiles():
+                response = router.request(GetTile(tile=tile, encoded=True))
+                assert response.ok, response.error
+                assert response.payload == store._blobs[tile]
+
+    def test_spatial_query_dedups_across_shard_boundaries(self, city):
+        with _local_router(city, n_shards=3) as router:
+            # radius spans many tiles, so border elements replicated
+            # into adjacent tiles come back from multiple shards
+            response = router.request(SpatialQuery(x=150.0, y=150.0,
+                                                   radius=250.0))
+            assert response.ok
+            ids = [e.id for e in response.payload]
+            assert len(ids) == len(set(ids))
+            want = {e.id for e in
+                    city.elements_in_radius(150.0, 150.0, 250.0)}
+            assert set(ids) == want
+
+    def test_ingest_routes_to_owner_and_client_syncs(self, city):
+        with _local_router(city) as router:
+            client = ClusterMapClient(router)
+            eid, patch = _sign_patch(city, (33.0, 44.0))
+            response = router.request(IngestPatch(patch=patch))
+            assert response.ok and response.payload.accepted
+            assert client.sync() == 1
+            assert eid in client.local
+            home = router._element_tile[eid]
+            assert router.owner_of_tile(home) == \
+                router._owner_of(home, router._owner, router.n_shards)
+
+    def test_multi_tile_patch_splits_across_shards(self, city):
+        with _local_router(city, n_shards=3) as router:
+            client = ClusterMapClient(router)
+            patch = MapPatch(source="probe", confidence=0.9)
+            eids = []
+            rng = np.random.default_rng(5)
+            min_x, min_y, max_x, max_y = city.bounds()
+            for _ in range(6):
+                eid = city.new_id("cluster-test-sign")
+                patch.add(TrafficSign(
+                    id=eid,
+                    position=np.array([rng.uniform(min_x, max_x),
+                                       rng.uniform(min_y, max_y)]),
+                    sign_type=SignType.DIRECTION))
+                eids.append(eid)
+            response = router.request(IngestPatch(patch=patch))
+            assert response.ok and response.payload.accepted
+            client.sync()
+            assert all(eid in client.local for eid in eids)
+            owners = {router.owner_of_tile(router._element_tile[e])
+                      for e in eids}
+            assert len(owners) > 1, "patch should have split across shards"
+
+    def test_cluster_version_monotone_across_requests(self, city):
+        with _local_router(city) as router:
+            seen = []
+            for i in range(6):
+                _, patch = _sign_patch(city, (10.0 + 30 * i, 20.0))
+                response = router.request(IngestPatch(patch=patch))
+                assert response.ok
+                seen.append(response.version)
+            assert seen == sorted(seen)
+
+
+class TestChangesSinceMerge:
+    def test_concurrent_publishes_merge_in_per_shard_log_order(self, city):
+        with _local_router(city, n_shards=3) as router:
+            client = ClusterMapClient(router)
+            rng = np.random.default_rng(11)
+            min_x, min_y, max_x, max_y = city.bounds()
+            patches = []
+            for _ in range(18):
+                _, patch = _sign_patch(
+                    city, (rng.uniform(min_x, max_x),
+                           rng.uniform(min_y, max_y)))
+                patches.append(patch)
+
+            def publish(chunk):
+                for patch in chunk:
+                    response = router.request(IngestPatch(patch=patch))
+                    assert response.ok
+
+            threads = [threading.Thread(target=publish,
+                                        args=(patches[i::3],))
+                       for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            delta = router.changes_since(
+                {i: 0 for i in range(router.n_shards)})
+            assert len(delta) == 18
+            # per-shard slices arrive in that shard's log order, and the
+            # advertised vector matches each slice's capture version
+            for index, shard_delta in delta.deltas.items():
+                log = router.shard_changelog(index)
+                versions = [v for v, _ in log]
+                assert versions == sorted(versions)
+                assert versions == list(range(1, len(versions) + 1))
+                assert delta.versions[index] == shard_delta.version
+            assert client.sync() == 18
+            assert client.is_consistent()
+
+    def test_client_skips_stale_shard_deltas(self, city):
+        with _local_router(city) as router:
+            client = ClusterMapClient(router)
+            _, patch = _sign_patch(city, (33.0, 44.0))
+            assert router.request(IngestPatch(patch=patch)).ok
+            delta = router.changes_since({i: 0 for i in
+                                          range(router.n_shards)})
+            assert client.apply_delta(delta) == 1
+            # re-delivering the same delta is a no-op: versions are stale
+            assert client.apply_delta(delta) == 0
+            assert client.is_consistent()
+
+
+class TestFailoverAndRestart:
+    def test_read_after_crash_restarts_from_journal(self, city):
+        store = TileStore.build(city, 120.0)
+        with _local_router(city) as router:
+            tile = store.tiles()[0]
+            router.kill_shard(router.owner_of_tile(tile))
+            response = router.request(GetTile(tile=tile, encoded=True))
+            assert response.ok
+            assert response.payload == store._blobs[tile]
+            assert router.restarts.value >= 1
+
+    def test_acked_write_survives_owner_crash(self, city):
+        with _local_router(city) as router:
+            client = ClusterMapClient(router)
+            eid, patch = _sign_patch(city, (33.0, 44.0))
+            assert router.request(IngestPatch(patch=patch)).ok
+            owner = router.owner_of_tile(router._element_tile[eid])
+            router.kill_shard(owner)
+            # next write lands on the restarted shard with history intact
+            eid2, patch2 = _sign_patch(city, (35.0, 46.0))
+            response = router.request(IngestPatch(patch=patch2))
+            assert response.ok and response.payload.accepted
+            client.sync()
+            assert eid in client.local and eid2 in client.local
+            assert client.is_consistent()
+
+
+class TestRebalance:
+    def test_growth_moves_only_rehashed_tiles(self, city):
+        with _local_router(city) as router:
+            before = {t: router.owner_of_tile(t) for t in router.tiles()}
+            moved = router.rebalance(3)
+            after = {t: router.owner_of_tile(t) for t in router.tiles()}
+            changed = [t for t in before if before[t] != after[t]]
+            assert len(changed) == moved > 0
+            assert all(after[t] == 2 for t in changed)
+
+    def test_reads_and_writes_survive_growth(self, city):
+        with _local_router(city) as router:
+            client = ClusterMapClient(router)
+            eid, patch = _sign_patch(city, (33.0, 44.0))
+            assert router.request(IngestPatch(patch=patch)).ok
+            router.rebalance(3)
+            response = router.request(SpatialQuery(x=150.0, y=150.0,
+                                                   radius=250.0))
+            ids = [e.id for e in response.payload]
+            assert len(ids) == len(set(ids))
+            eid2, patch2 = _sign_patch(city, (200.0, 210.0))
+            assert router.request(IngestPatch(patch=patch2)).ok
+            client.sync()
+            assert eid in client.local and eid2 in client.local
+            assert client.is_consistent()
+
+    def test_shrink_rejected(self, city):
+        with _local_router(city, n_shards=2) as router:
+            with pytest.raises(ClusterError, match="shrink"):
+                router.rebalance(1)
+
+
+class TestClusterChaosHarness:
+    WORKLOAD = ClusterWorkload(n_shards=2, replicas=0, transport="local",
+                               tile_size=120.0, ops=24, reads_per_op=1,
+                               sync_every=6, seed=7)
+
+    def test_inert_run_certifies_and_matches_single_node(self, city):
+        harness = ClusterChaosHarness(city, FaultPlan.none(7),
+                                      workload=self.WORKLOAD)
+        report = harness.run("shard-inert")
+        assert report.certify(), report.violations()
+        assert harness.final_map_bytes() == harness.run_plain()
+
+    def test_crash_plan_certifies(self, city):
+        plan = FaultPlan([FaultSpec(CLUSTER_SHARD_CRASH, probability=1.0,
+                                    after=5, max_count=2)], seed=7)
+        harness = ClusterChaosHarness(city, plan, workload=self.WORKLOAD)
+        report = harness.run("shard")
+        assert report.fired[CLUSTER_SHARD_CRASH] == 2
+        assert report.certify(), report.violations()
+        assert report.stats["restarts"] >= 1
+
+
+class TestProcessTransport:
+    def test_end_to_end_over_sockets(self, city):
+        store = TileStore.build(city, 120.0)
+        router = ClusterRouter(city, n_shards=2, tile_size=120.0,
+                               replicas=1, transport="process")
+        try:
+            tile = store.tiles()[0]
+            response = router.request(GetTile(tile=tile, encoded=True))
+            assert response.ok and response.payload == store._blobs[tile]
+
+            # kill the owner: the read must fail over to the replica
+            # (not pay a journal-replay restart on the read path)
+            router.kill_shard(router.owner_of_tile(tile))
+            response = router.request(GetTile(tile=tile, encoded=True))
+            assert response.ok and response.payload == store._blobs[tile]
+            assert router.failovers.value >= 1
+            assert router.restarts.value == 0
+
+            client = ClusterMapClient(router)
+            eid, patch = _sign_patch(city, (33.0, 44.0))
+            response = router.request(IngestPatch(patch=patch))
+            assert response.ok and response.payload.accepted
+            client.sync()
+            assert eid in client.local and client.is_consistent()
+
+            per_shard = router.collect_shard_metrics()
+            assert set(per_shard) == {0, 1}
+        finally:
+            router.close()

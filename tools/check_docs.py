@@ -38,10 +38,11 @@ KNOB_NAMESPACES = (
     "repro.chaos",
     "repro.obs",
     "repro.update.distribution",
+    "repro.cluster",
 )
 
 METRIC_TOKEN = re.compile(
-    r"`((?:serve|ingest|perf|log)\.[A-Za-z0-9_.<>]+)`")
+    r"`((?:serve|ingest|perf|log|cluster)\.[A-Za-z0-9_.<>]+)`")
 KNOB_CALL = re.compile(
     r"`([A-Za-z][A-Za-z0-9_]*)\(([a-z][a-z0-9_]*)=")
 CLI_FLAG = re.compile(r"`(--[a-z][a-z0-9-]+)`")
@@ -94,7 +95,31 @@ def _metric_universe() -> Set[str]:
     store = TileStore.build(city, tile_size=250.0)
     with MapService(server, store, n_workers=1, registry=extra) as service:
         service.request(GetTile(store.tiles()[0]))
-    return names | set(extra.snapshot())
+    names |= set(extra.snapshot())
+
+    # cluster.* names come from a tiny in-process cluster: one read and
+    # one write mint the per-kind router metrics, one metrics poll mints
+    # the merged per-shard names.
+    from repro.cluster import ClusterRouter
+    from repro.core import MapPatch, SignType, TrafficSign
+    from repro.serve import IngestPatch
+
+    cluster_registry = MetricsRegistry()
+    router = ClusterRouter(city, n_shards=2, tile_size=250.0,
+                           transport="local", registry=cluster_registry)
+    try:
+        router.request(GetTile(router.tiles()[0]))
+        import numpy as np
+        patch = MapPatch(source="docs-check", confidence=0.9)
+        patch.add(TrafficSign(id=city.new_id("docs-check-sign"),
+                              position=np.array([10.0, 10.0]),
+                              sign_type=SignType.DIRECTION))
+        router.request(IngestPatch(patch=patch))
+        router.collect_shard_metrics()
+        names |= set(cluster_registry.snapshot())
+    finally:
+        router.close()
+    return names
 
 
 def check_operations_metrics(errors: List[str]) -> None:
