@@ -10,6 +10,7 @@ Usage::
     python -m repro ingest-bench city.json --workers 1,4 --vehicles 4
     python -m repro chaos-bench city.json --classes sensor,pipeline
     python -m repro cluster-bench city.json --shards 1,2 --check-scaling 1.5
+    python -m repro pack-bench city.json --check --out PACK_BENCH.json
     python -m repro taxonomy
     python -m repro perf-bench --out BENCH_PERF.json
     python -m repro obs export city.json --format prometheus
@@ -585,6 +586,171 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pack_bench(args: argparse.Namespace) -> int:
+    """Gate the pack store's serving claims with measured numbers.
+
+    Four checks, all written into the JSON artifact and enforced under
+    ``--check``:
+
+    - bytes/tile of the packed base map stays under the ceiling;
+    - encoded-GetTile throughput from the mmap'd pack beats the
+      object-encode path (cold encode memo every request) by the
+      required factor;
+    - a synthetic pack with at least ``--target-elements`` elements
+      cold-starts (open + one tile decode) inside the budget, with
+      exactly one decode — proof there is no hidden full-map decode;
+    - the binary delta wire format stays under the required fraction of
+      the pickled SyncDelta.
+    """
+    import json
+    import os
+    import pickle
+    import tempfile
+
+    from repro.core import MapPatch, SignType, TrafficSign
+    from repro.core.tiles import TileId
+    from repro.pack import PackReader, PackWriter, encode_delta
+    from repro.serve.api import GetTile
+    from repro.serve.service import MapService
+    from repro.storage import TileStore, load_map
+    from repro.update.distribution import MapDistributionServer
+
+    hdmap = load_map(args.map)
+    store = TileStore.build(hdmap, tile_size=args.tile_size)
+    tiles = store.tiles()
+    if not tiles:
+        print("PACK BENCH FAILED: map has no tiles", file=sys.stderr)
+        return 1
+    workdir = tempfile.mkdtemp(prefix="pack-bench-")
+    pack_path = os.path.join(workdir, "base.pack")
+    store.to_pack(pack_path)
+    packed = TileStore.from_pack(pack_path)
+    bytes_per_tile = store.total_bytes() / len(tiles)
+    print(f"packed {hdmap.name}: {len(tiles)} tiles, "
+          f"{bytes_per_tile / 1024:.1f} KB/tile, "
+          f"{os.path.getsize(pack_path) / 1024:.1f} KB pack file")
+
+    # -- encoded-GetTile throughput: object-encode path vs pack slices --
+    def sweep(service: MapService, cold: bool) -> float:
+        requests = [GetTile(tile=tiles[i % len(tiles)], encoded=True)
+                    for i in range(args.requests)]
+        t0 = time.perf_counter()
+        for request in requests:
+            response = service.request(request)
+            assert response.ok, response.error
+            if cold:
+                # cold cache: force the next request to re-serialize,
+                # which is what every distinct-tile miss costs.
+                service.cache.invalidate_encoded()
+        return args.requests / (time.perf_counter() - t0)
+
+    server = MapDistributionServer(hdmap.copy())
+    with MapService(server, store, n_workers=args.workers) as service:
+        object_tps = sweep(service, cold=True)
+    server = MapDistributionServer(hdmap.copy())
+    with MapService(server, packed, n_workers=args.workers) as service:
+        pack_tps = sweep(service, cold=False)
+        response = service.request(GetTile(tile=tiles[0], encoded=True))
+        zero_copy = isinstance(response.payload, memoryview) \
+            and response.payload.obj is packed.pack_reader.buffer.obj
+    speedup = pack_tps / object_tps if object_tps > 0 else float("inf")
+    print(f"encoded GetTile: object-encode {object_tps:,.0f} req/s, "
+          f"pack {pack_tps:,.0f} req/s -> {speedup:.1f}x "
+          f"(zero-copy payload: {zero_copy})")
+
+    # -- cold start of a >= target-elements pack ------------------------
+    big_path = os.path.join(workdir, "big.pack")
+    blob = store._blobs[max(tiles, key=store.blob_bytes)]
+    from repro.storage.tilestore import _count_elements
+    per_blob = max(1, _count_elements(blob))
+    n_copies = max(1, -(-args.target_elements // per_blob))
+    with PackWriter(big_path, tile_size=args.tile_size) as writer:
+        for i in range(n_copies):
+            writer.add(TileId(i % 4096, i // 4096), blob,
+                       n_elements=per_blob)
+        writer.publish()
+    t0 = time.perf_counter()
+    reader = PackReader(big_path)
+    shard = reader.load(reader.tiles()[0])
+    cold_start_s = time.perf_counter() - t0
+    cold_elements = reader.total_elements
+    cold_decodes = int(reader.decodes.value)
+    assert shard is not None
+    reader.close()
+    print(f"cold start: {cold_elements:,} elements "
+          f"({os.path.getsize(big_path) / 1e6:.1f} MB pack) open + one "
+          f"tile decode in {cold_start_s * 1e3:.1f} ms, "
+          f"{cold_decodes} decode(s)")
+
+    # -- delta wire vs pickled SyncDelta --------------------------------
+    working = hdmap.copy()
+    delta_server = MapDistributionServer(working)
+    rng = np.random.default_rng(0)
+    for i in range(args.delta_ops):
+        patch = MapPatch(source=f"probe-{i}", confidence=0.9)
+        x, y = rng.uniform(0, 500, size=2)
+        patch.add(TrafficSign(id=working.new_id(f"pb{i}-sign"),
+                              position=np.array([x, y]),
+                              sign_type=SignType.STOP))
+        delta_server.ingest(patch)
+    delta = delta_server.delta_since(0)
+    wire_bytes = len(encode_delta(delta))
+    pickle_bytes = len(pickle.dumps(delta,
+                                    protocol=pickle.HIGHEST_PROTOCOL))
+    delta_ratio = wire_bytes / pickle_bytes
+    print(f"delta wire: {wire_bytes} B vs {pickle_bytes} B pickled "
+          f"({args.delta_ops} changes) -> ratio {delta_ratio:.3f}")
+
+    report = {
+        "map": hdmap.name,
+        "tiles": len(tiles),
+        "bytes_per_tile": bytes_per_tile,
+        "object_encode_tps": object_tps,
+        "pack_tps": pack_tps,
+        "speedup": speedup,
+        "zero_copy": zero_copy,
+        "cold_start_s": cold_start_s,
+        "cold_elements": cold_elements,
+        "cold_decodes": cold_decodes,
+        "delta_wire_bytes": wire_bytes,
+        "delta_pickle_bytes": pickle_bytes,
+        "delta_ratio": delta_ratio,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = []
+        if bytes_per_tile > args.max_bytes_per_tile:
+            failures.append(f"bytes/tile {bytes_per_tile:.0f} above "
+                            f"{args.max_bytes_per_tile:.0f}")
+        if speedup < args.min_speedup:
+            failures.append(f"speedup {speedup:.2f}x below "
+                            f"{args.min_speedup:g}x")
+        if not zero_copy:
+            failures.append("encoded GetTile payload is not a pack "
+                            "mmap slice")
+        if cold_elements < args.target_elements:
+            failures.append(f"cold pack holds {cold_elements:,} elements "
+                            f"< {args.target_elements:,}")
+        if cold_start_s > args.cold_start_budget_s:
+            failures.append(f"cold start {cold_start_s:.2f}s above "
+                            f"{args.cold_start_budget_s:g}s")
+        if cold_decodes != 1:
+            failures.append(f"cold start decoded {cold_decodes} tiles "
+                            "(expected exactly 1)")
+        if delta_ratio > args.max_delta_ratio:
+            failures.append(f"delta ratio {delta_ratio:.3f} above "
+                            f"{args.max_delta_ratio:g}")
+        if failures:
+            for failure in failures:
+                print(f"PACK BENCH FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("pack bench passed: all bounds met")
+    return 0
+
+
 def _cmd_taxonomy(args: argparse.Namespace) -> int:
     from repro import taxonomy
 
@@ -808,6 +974,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fail unless best throughput >= FACTOR x "
                               "the first shard count's")
     cluster.set_defaults(func=_cmd_cluster_bench)
+
+    pack = sub.add_parser(
+        "pack-bench",
+        help="measure pack-store serving: throughput, cold start, delta")
+    pack.add_argument("map")
+    pack.add_argument("--tile-size", type=float, default=250.0)
+    pack.add_argument("--requests", type=int, default=300,
+                      help="encoded GetTile requests per serving path")
+    pack.add_argument("--workers", type=int, default=1,
+                      help="MapService workers (1 isolates per-request "
+                           "serialization cost)")
+    pack.add_argument("--target-elements", type=int, default=1_000_000,
+                      help="minimum element count of the cold-start pack")
+    pack.add_argument("--delta-ops", type=int, default=20,
+                      help="ingested changes behind the delta-size check")
+    pack.add_argument("--out", default="PACK_BENCH.json",
+                      help="machine-readable report path")
+    pack.add_argument("--check", action="store_true",
+                      help="fail unless every bound below is met")
+    pack.add_argument("--min-speedup", type=float, default=5.0,
+                      help="required pack/object-encode throughput ratio")
+    pack.add_argument("--max-bytes-per-tile", type=float, default=65536,
+                      help="ceiling on mean encoded tile size")
+    pack.add_argument("--cold-start-budget-s", type=float, default=2.0,
+                      help="budget for open + one-tile decode of the "
+                           "cold pack")
+    pack.add_argument("--max-delta-ratio", type=float, default=0.25,
+                      help="ceiling on wire-delta / pickled-delta size")
+    pack.set_defaults(func=_cmd_pack_bench)
 
     tax = sub.add_parser("taxonomy", help="print Table I with coverage")
     tax.set_defaults(func=_cmd_taxonomy)

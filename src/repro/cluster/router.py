@@ -229,6 +229,8 @@ class ClusterRouter:
                  lease_s: float = 2.0,
                  start_method: str = "fork",
                  registry: Optional[MetricsRegistry] = None,
+                 pack_path: Optional[str] = None,
+                 journal_warn_threshold: int = 10_000,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if n_shards < 1:
             raise ClusterError("n_shards must be >= 1")
@@ -252,6 +254,13 @@ class ClusterRouter:
         self._scheme = TileScheme(tile_size)
         full_store = TileStore.build(hdmap, tile_size)
         self._store_blobs: Dict[TileId, bytes] = dict(full_store._blobs)
+        # Pack-backed shards: write the full base map into one pack file
+        # up front; each shard (and every restart/rebalance spawn) mmaps
+        # that shared file instead of receiving its blobs through the
+        # fork, so spawning cost stops scaling with base-map size.
+        self._pack_path = pack_path
+        if pack_path is not None:
+            full_store.to_pack(pack_path)
         self._partition = self._scheme.partition(hdmap)
         self._element_tile: Dict[ElementId, Optional[TileId]] = {}
         for tile, elements in self._partition.items():
@@ -270,6 +279,13 @@ class ClusterRouter:
 
         self._journal: List[_JournalEntry] = []
         self._journal_lock = threading.Lock()   # leaf lock: append/copy
+        #: journal growth guard: every restart replays the whole journal,
+        #: so an unbounded journal silently turns restarts O(history). The
+        #: gauge makes the depth scrapeable; crossing the threshold emits
+        #: one ``journal_large`` warning event.
+        self.journal_warn_threshold = journal_warn_threshold
+        self.journal_gauge = Gauge()
+        self._journal_warned = False
         self._ingest_lock = threading.Lock()    # one writer at a time
         self._spawn_lock = threading.Lock()     # no concurrent forks
         self._version_lock = threading.Lock()
@@ -368,13 +384,22 @@ class ClusterRouter:
         if index == 0:
             for element in self._nonspatial:
                 base.add(element)
-        blobs = {tile: self._store_blobs[tile]
-                 for tile in owned if tile in self._store_blobs}
+        owned_blob_tiles = sorted(tile for tile in owned
+                                  if tile in self._store_blobs)
+        if self._pack_path is not None:
+            blobs: Dict[TileId, bytes] = {}
+        else:
+            blobs = {tile: self._store_blobs[tile]
+                     for tile in owned_blob_tiles}
         return ShardConfig(
             index=index, tile_size=self._scheme.tile_size,
             base_map_bytes=encode_map(base), blobs=blobs,
             replay=self._replay_for(index, owner, n_shards),
-            name=f"{self._name}-shard", **self._shard_knobs)
+            name=f"{self._name}-shard",
+            pack_path=self._pack_path,
+            owned_tiles=owned_blob_tiles if self._pack_path is not None
+            else [],
+            **self._shard_knobs)
 
     def _replay_for(self, index: int, owner: Dict[TileId, int],
                     n_shards: int) -> List[MapPatch]:
@@ -648,6 +673,14 @@ class ClusterRouter:
                             seq=len(self._journal), source=patch.source,
                             confidence=patch.confidence, ops=applied)
                         self._journal.append(entry)
+                        depth = len(self._journal)
+                    self.journal_gauge.set(depth)
+                    if (depth >= self.journal_warn_threshold
+                            and not self._journal_warned):
+                        self._journal_warned = True
+                        _log.warning(
+                            "journal_large", entries=depth,
+                            threshold=self.journal_warn_threshold)
                     handle = self._handles[index]
                     with handle.lock:
                         self._replicate_locked(
@@ -941,7 +974,7 @@ class ClusterRouter:
           (the standard serving aggregate, router-side);
         - ``cluster.failovers`` / ``cluster.restarts`` /
           ``cluster.timeouts`` / ``cluster.rebalances`` /
-          ``cluster.shards``;
+          ``cluster.shards`` / ``cluster.journal.entries``;
         - ``cluster.shard.latency.<kind>`` — per-shard histograms merged
           by :meth:`collect_shard_metrics`, and
           ``cluster.shard.requests.<kind>.<status>`` summed across
@@ -953,6 +986,7 @@ class ClusterRouter:
         registry.register(f"{prefix}.timeouts", self.timeouts)
         registry.register(f"{prefix}.rebalances", self.rebalances)
         registry.register(f"{prefix}.shards", self.shards_gauge)
+        registry.register(f"{prefix}.journal.entries", self.journal_gauge)
 
         def collect() -> Dict[str, object]:
             out: Dict[str, object] = {}

@@ -1,13 +1,24 @@
-"""Length-prefixed pickle RPC between the router and shard processes.
+"""Length-prefixed RPC between the router and shard processes.
 
 Wire format, chosen for debuggability over cleverness: every frame is a
-fixed 12-byte header — ``!QI`` request id (8 bytes) + payload length
-(4 bytes) — followed by a pickled body. Requests carry ``(op, payload)``
-tuples; replies carry ``("ok", result)`` or ``("err", message)``. The
-request id is echoed back in the reply header, so a router that timed
-out on a slow shard and moved on can recognise and discard the late
-reply instead of mis-attributing it to the next request — without that,
-one slow reply would desynchronise the connection forever.
+fixed 13-byte header — ``!QBI`` request id (8 bytes) + frame kind
+(1 byte) + payload length (4 bytes) — followed by the body. Two frame
+kinds exist:
+
+- ``KIND_PICKLE`` (0): the body is a pickled object. Requests carry
+  ``(op, payload)`` tuples; replies carry ``("ok", result)`` or
+  ``("err", message)``.
+- ``KIND_RAW_RESPONSE`` (1): an OK reply whose payload is raw bytes —
+  a fixed ``!qid`` meta block (served version, staleness, handler
+  latency) followed by the payload verbatim. Shards use this to forward
+  encoded-tile pack slices to the router without a pickle round-trip:
+  the payload ``memoryview`` is written straight from the mmap to the
+  socket and never copied into a pickle buffer.
+
+The request id is echoed back in the reply header, so a router that
+timed out on a slow shard and moved on can recognise and discard the
+late reply instead of mis-attributing it to the next request — without
+that, one slow reply would desynchronise the connection forever.
 
 Failure taxonomy (what the router's failover logic keys on):
 
@@ -29,7 +40,16 @@ import socket
 import struct
 from typing import Any, Optional, Tuple
 
-_HEADER = struct.Struct("!QI")
+from repro.serve.api import Response, Status
+
+_HEADER = struct.Struct("!QBI")
+
+KIND_PICKLE = 0
+KIND_RAW_RESPONSE = 1
+
+#: meta block of a raw response: served version (signed — REJECTED/SHED
+#: carry −1), staleness in versions, handler latency in seconds
+_RAW_META = struct.Struct("!qid")
 
 
 class RpcError(Exception):
@@ -48,7 +68,26 @@ def send_frame(sock: socket.socket, request_id: int, body: Any) -> None:
     """Pickle ``body`` and write one framed message."""
     raw = pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
     try:
-        sock.sendall(_HEADER.pack(request_id, len(raw)) + raw)
+        sock.sendall(_HEADER.pack(request_id, KIND_PICKLE, len(raw)) + raw)
+    except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+        raise ShardDead(f"send failed: {exc}") from None
+
+
+def send_raw_response(sock: socket.socket, request_id: int,
+                      response: Response) -> None:
+    """Write one OK reply whose payload ships as raw bytes.
+
+    The payload (``bytes``/``bytearray``/``memoryview`` — e.g. a pack
+    mmap slice) is written directly after the meta block, so a zero-copy
+    tile view goes mmap → socket without ever entering a pickle buffer.
+    """
+    payload = memoryview(response.payload)
+    meta = _RAW_META.pack(response.version, response.staleness,
+                          response.latency_s)
+    try:
+        sock.sendall(_HEADER.pack(request_id, KIND_RAW_RESPONSE,
+                                  _RAW_META.size + payload.nbytes) + meta)
+        sock.sendall(payload)
     except (BrokenPipeError, ConnectionResetError, OSError) as exc:
         raise ShardDead(f"send failed: {exc}") from None
 
@@ -71,9 +110,25 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
 
 
 def recv_frame(sock: socket.socket) -> Tuple[int, Any]:
-    """Read one framed message; returns ``(request_id, body)``."""
-    request_id, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    return request_id, pickle.loads(_recv_exact(sock, length))
+    """Read one framed message; returns ``(request_id, body)``.
+
+    Raw-response frames are decoded into the same ``("ok", Response)``
+    shape a pickled reply carries, so callers handle both uniformly.
+    """
+    request_id, kind, length = _HEADER.unpack(_recv_exact(sock,
+                                                          _HEADER.size))
+    raw = _recv_exact(sock, length)
+    if kind == KIND_RAW_RESPONSE:
+        if length < _RAW_META.size:
+            raise ShardDead(f"short raw frame ({length} bytes)")
+        version, staleness, latency_s = _RAW_META.unpack(
+            raw[:_RAW_META.size])
+        return request_id, ("ok", Response(
+            Status.OK, payload=raw[_RAW_META.size:], version=version,
+            latency_s=latency_s, staleness=staleness))
+    if kind != KIND_PICKLE:
+        raise ShardDead(f"unknown frame kind {kind}")
+    return request_id, pickle.loads(raw)
 
 
 class RpcConnection:
@@ -130,10 +185,19 @@ def serve_connection(sock: socket.socket, dispatch) -> None:
             return
         try:
             result = dispatch(op, payload)
-            body = ("ok", result)
         except Exception as exc:  # ship the failure, keep serving
-            body = ("err", f"{type(exc).__name__}: {exc}")
+            try:
+                send_frame(sock, request_id,
+                           ("err", f"{type(exc).__name__}: {exc}"))
+            except ShardDead:
+                return
+            continue
         try:
-            send_frame(sock, request_id, body)
+            if isinstance(result, Response) and result.status is Status.OK \
+                    and isinstance(result.payload,
+                                   (bytes, bytearray, memoryview)):
+                send_raw_response(sock, request_id, result)
+            else:
+                send_frame(sock, request_id, ("ok", result))
         except ShardDead:
             return

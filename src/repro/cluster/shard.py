@@ -59,6 +59,12 @@ class ShardConfig:
     storage_latency_s: float = 0.0
     stale_tile_versions: int = 0
     name: str = "shard"
+    #: pack-backed mode: instead of shipping ``blobs`` through the fork,
+    #: every shard mmaps the same shared pack file and sees only its
+    #: ``owned_tiles`` subset — the config stays a few hundred bytes no
+    #: matter how big the base map is.
+    pack_path: Optional[str] = None
+    owned_tiles: List[TileId] = field(default_factory=list)
 
 
 class ShardBackend:
@@ -68,7 +74,11 @@ class ShardBackend:
         self.config = config
         base = decode_map(config.base_map_bytes)
         self.server = MapDistributionServer(base)
-        store = TileStore.from_blobs(config.blobs, config.tile_size)
+        if config.pack_path is not None:
+            store = TileStore.from_pack(config.pack_path, config.tile_size,
+                                        tiles=config.owned_tiles)
+        else:
+            store = TileStore.from_blobs(config.blobs, config.tile_size)
         self.service = MapService(
             self.server, store,
             n_workers=config.n_workers,

@@ -35,6 +35,10 @@ class StorageError(HDMapError):
     """Serialization or deserialization failure."""
 
 
+class PackError(StorageError):
+    """A tile pack file is corrupt, truncated, or misused."""
+
+
 class SensorError(HDMapError):
     """Invalid sensor configuration or measurement request."""
 

@@ -1,0 +1,41 @@
+"""Mmap-backed tile pack store and binary delta sync.
+
+The distribution story of the survey (Li et al.'s vector compaction,
+~10 MB/mile → ~100 KB/mile) only pays off if the *serving* path ships
+those compact bytes without re-materializing Python objects. This
+package closes that gap with two wire-level pieces:
+
+- :mod:`repro.pack.format` — the **tile pack file**: one mmap'd file
+  holding a fixed-size header, a tile directory (tile id, offset,
+  length, version, checksum, element count), and concatenated
+  ``repro.storage.binary`` payloads. :class:`PackWriter` appends
+  payloads and atomically publishes a new directory; :class:`PackReader`
+  serves any tile as a ``memoryview`` slice of the mapping — zero
+  copies, lazy :class:`~repro.core.hdmap.HDMap` decode only on demand.
+  A million-element map cold-starts in the time it takes to map the
+  file and parse the directory, not the time it takes to decode a
+  million elements.
+- :mod:`repro.pack.delta` — the **binary delta wire format**:
+  ``encode_delta``/``decode_delta`` pack a
+  :class:`~repro.update.distribution.SyncDelta` as varint/zigzag patch
+  records (changed/removed elements only), so ``ChangesSince`` ships a
+  small fraction of the pickled payload.
+
+Both formats raise :class:`~repro.errors.StorageError` (or its
+:class:`~repro.errors.PackError` subclass) on truncated or corrupt
+input — raw ``struct.error``/``zlib.error`` never escape.
+"""
+
+from repro.errors import PackError
+from repro.pack.delta import decode_delta, encode_delta
+from repro.pack.format import PackEntry, PackReader, PackWriter, compact_pack
+
+__all__ = [
+    "PackEntry",
+    "PackError",
+    "PackReader",
+    "PackWriter",
+    "compact_pack",
+    "decode_delta",
+    "encode_delta",
+]

@@ -97,11 +97,18 @@ class SpatialQuery(Request):
 
 @dataclass
 class ChangesSince(Request):
-    """Incremental sync: atomic delta of everything after ``since_version``."""
+    """Incremental sync: atomic delta of everything after ``since_version``.
+
+    With ``encoded=True`` the response payload is the binary delta wire
+    format (bytes, see :func:`repro.pack.encode_delta`) instead of the
+    :class:`~repro.update.distribution.SyncDelta` object — what a real
+    change feed ships over the network.
+    """
 
     since_version: int
     priority: Priority = Priority.HIGH
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    encoded: bool = False
 
 
 @dataclass

@@ -109,6 +109,8 @@ class MapService:
         self.metrics.attach_cache(self.cache)
         if registry is not None:
             self.metrics.register_into(registry)
+            if store.pack_backed:
+                store.pack_reader.register_into(registry)
         # Encoded payloads are keyed by served version; a published patch
         # advances the version, so drop the now-stale memo entries eagerly.
         server.add_listener(self._on_ingest_publish)
@@ -236,6 +238,13 @@ class MapService:
         if isinstance(request, GetTile):
             version = self.server.version
             if request.encoded:
+                if self.store.pack_backed:
+                    # Zero-copy fast path: the payload is a memoryview
+                    # slice of the pack mmap — no encode, no cache memo,
+                    # no per-request copy. Pack payloads are the static
+                    # base map, byte-stable across versions, so the SWR
+                    # staleness contract is trivially met at 0.
+                    return self.store.encoded_view(request.tile), version, 0
                 bound = request.max_staleness \
                     if request.max_staleness is not None \
                     else self.stale_tile_versions
@@ -247,6 +256,9 @@ class MapService:
             return self._spatial(request), self.server.version, 0
         if isinstance(request, ChangesSince):
             delta = self.server.delta_since(request.since_version)
+            if request.encoded:
+                from repro.pack.delta import encode_delta
+                return encode_delta(delta), delta.version, 0
             return delta, delta.version, 0
         if isinstance(request, IngestPatch):
             result = self.server.ingest(request.patch)

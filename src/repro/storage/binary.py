@@ -387,23 +387,46 @@ def encode_map(hdmap: HDMap, simplify_tolerance: float = 0.0) -> bytes:
     return header + payload
 
 
-def decode_map(data: bytes) -> HDMap:
+def decode_map(data) -> HDMap:
+    """Decode an HDMV blob (``bytes`` or any buffer, e.g. a zero-copy
+    ``memoryview`` of a tile pack).
+
+    Truncated, corrupt, or bad-magic input raises
+    :class:`~repro.errors.StorageError` — raw ``struct.error`` /
+    ``zlib.error`` / ``IndexError`` never escape, so callers can treat
+    every undecodable blob uniformly.
+    """
+    data = bytes(data)
+    if len(data) < 9:
+        raise StorageError("truncated HDMV header")
     if data[:4] != MAGIC:
         raise StorageError("bad magic; not an HDMV blob")
     version, length = struct.unpack("<BI", data[4:9])
     if version != VERSION:
         raise StorageError(f"unsupported binary version {version}")
-    body = BytesIO(zlib.decompress(data[9:9 + length]))
-    name = body.read(_read_varint(body)).decode()
-    map_version = _read_varint(body)
-    n_kinds = _read_varint(body)
-    kinds = [body.read(_read_varint(body)).decode() for _ in range(n_kinds)]
-    hdmap = HDMap(name)
-    hdmap.version = map_version
-    n = _read_varint(body)
-    for _ in range(n):
-        hdmap.add(_decode_element(body, kinds))
-    return hdmap
+    if len(data) < 9 + length:
+        raise StorageError("truncated HDMV payload")
+    try:
+        body = BytesIO(zlib.decompress(data[9:9 + length]))
+    except zlib.error as exc:
+        raise StorageError(f"corrupt HDMV payload: {exc}") from exc
+    try:
+        name = body.read(_read_varint(body)).decode()
+        map_version = _read_varint(body)
+        n_kinds = _read_varint(body)
+        kinds = [body.read(_read_varint(body)).decode()
+                 for _ in range(n_kinds)]
+        hdmap = HDMap(name)
+        hdmap.version = map_version
+        n = _read_varint(body)
+        for _ in range(n):
+            hdmap.add(_decode_element(body, kinds))
+        return hdmap
+    except StorageError:
+        raise
+    except (struct.error, IndexError, UnicodeDecodeError,
+            ValueError, KeyError) as exc:
+        raise StorageError(f"corrupt HDMV body: {exc}") from exc
 
 
 def _simplified(element: MapElement, tolerance: float) -> MapElement:

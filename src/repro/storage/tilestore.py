@@ -83,12 +83,36 @@ class TileStoreStats:
         }
 
 
+def _count_elements(blob: bytes) -> int:
+    """Element count of an HDMV blob from its body prefix (name, version,
+    kinds table, count varint) — no per-element decode."""
+    import zlib
+    from io import BytesIO
+
+    from repro.storage.binary import _read_varint
+
+    body = BytesIO(zlib.decompress(blob[9:]))
+    body.read(_read_varint(body))      # map name
+    _read_varint(body)                 # map version
+    for _ in range(_read_varint(body)):
+        body.read(_read_varint(body))  # kind name
+    return _read_varint(body)
+
+
 class TileStore:
-    """Immutable sharded storage: one compact blob per non-empty tile."""
+    """Immutable sharded storage: one compact blob per non-empty tile.
+
+    Two backends share the same interface: a plain in-memory dict of
+    blobs (:meth:`build` / :meth:`from_blobs`), or a single mmap'd pack
+    file (:meth:`from_pack`) whose tiles are served as zero-copy
+    ``memoryview`` slices — see :mod:`repro.pack.format`.
+    """
 
     def __init__(self, tile_size: float = 500.0) -> None:
         self.scheme = TileScheme(tile_size)
         self._blobs: Dict[TileId, bytes] = {}
+        self._pack = None  # Optional[repro.pack.PackReader]
+        self._visible: Optional[frozenset] = None  # pack-mode tile subset
 
     @staticmethod
     def build(hdmap: HDMap, tile_size: float = 500.0) -> "TileStore":
@@ -128,23 +152,102 @@ class TileStore:
         store._blobs = dict(blobs)
         return store
 
+    @staticmethod
+    def from_pack(path: str, tile_size: Optional[float] = None,
+                  tiles: Optional[List[TileId]] = None) -> "TileStore":
+        """A store over an mmap'd pack file (see :class:`repro.pack.PackReader`).
+
+        ``tile_size`` defaults to the size recorded in the pack header.
+        ``tiles`` restricts the visible subset — the cluster layer hands
+        each shard the same shared pack file plus its owned tile list, so
+        shards never copy blobs across the fork boundary.
+        """
+        from repro.pack.format import PackReader
+
+        reader = PackReader(path)
+        if tile_size is None:
+            tile_size = reader.tile_size
+        if tile_size <= 0:
+            raise StorageError(
+                f"pack {path!r} records no tile size; pass tile_size=")
+        store = TileStore(tile_size)
+        store._pack = reader
+        if tiles is not None:
+            store._visible = frozenset(tiles) & frozenset(reader.tiles())
+        return store
+
+    def to_pack(self, path: str) -> int:
+        """Write this store's tiles into a pack file; returns tile count."""
+        from repro.pack.format import PackWriter
+
+        with PackWriter(path, tile_size=self.scheme.tile_size) as writer:
+            for tile in self.tiles():
+                blob = self._blobs[tile] if self._pack is None \
+                    else bytes(self._pack.get(tile))
+                writer.add(tile, blob,
+                           n_elements=_count_elements(blob))
+            return writer.publish()
+
+    @property
+    def pack_backed(self) -> bool:
+        """True when tiles live in an mmap'd pack file, not a dict."""
+        return self._pack is not None
+
+    @property
+    def pack_reader(self):
+        """The underlying :class:`repro.pack.PackReader`, or ``None``."""
+        return self._pack
+
+    def _pack_tiles(self) -> List[TileId]:
+        if self._visible is None:
+            return self._pack.tiles()
+        return sorted(self._visible)
+
     def tiles(self) -> List[TileId]:
+        if self._pack is not None:
+            return self._pack_tiles()
         return sorted(self._blobs)
 
     def total_bytes(self) -> int:
+        if self._pack is not None:
+            return sum(self._pack.entry(t).length for t in self._pack_tiles())
         return sum(len(b) for b in self._blobs.values())
 
     def blob_bytes(self, tile: TileId) -> int:
+        if self._pack is not None:
+            entry = self._pack.entry(tile) if self._has_tile(tile) else None
+            return entry.length if entry is not None else 0
         return len(self._blobs.get(tile, b""))
 
     def largest_tile(self) -> Optional[Tuple[TileId, int]]:
         """The heaviest shard — the serving hot spot to watch for."""
-        if not self._blobs:
+        tiles = self.tiles()
+        if not tiles:
             return None
-        tile = max(self._blobs, key=lambda t: len(self._blobs[t]))
-        return tile, len(self._blobs[tile])
+        tile = max(tiles, key=self.blob_bytes)
+        return tile, self.blob_bytes(tile)
+
+    def _has_tile(self, tile: TileId) -> bool:
+        if self._visible is not None and tile not in self._visible:
+            return False
+        return self._pack.entry(tile) is not None
+
+    def encoded_view(self, tile: TileId) -> Optional[memoryview]:
+        """Zero-copy encoded payload for ``tile``.
+
+        Only pack-backed stores return a view (a slice of the mmap);
+        dict-backed stores return ``None`` so the serve layer keeps its
+        per-request encode + cache path.
+        """
+        if self._pack is None or not self._has_tile(tile):
+            return None
+        return self._pack.get(tile)
 
     def load_tile(self, tile: TileId) -> Optional[HDMap]:
+        if self._pack is not None:
+            if not self._has_tile(tile):
+                return None
+            return self._pack.load(tile)
         blob = self._blobs.get(tile)
         if blob is None:
             return None
@@ -185,8 +288,7 @@ class StreamingMap:
 
     def resident_bytes(self) -> int:
         """Approximate working-set size: encoded size of resident tiles."""
-        return sum(len(self.store._blobs.get(t, b""))
-                   for t in self._resident)
+        return sum(self.store.blob_bytes(t) for t in self._resident)
 
     # ------------------------------------------------------------------
     def elements_in_radius(self, x: float, y: float, radius: float

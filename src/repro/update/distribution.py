@@ -207,12 +207,19 @@ class MapDistributionServer:
 
 @dataclass
 class VehicleMapClient:
-    """A vehicle's local map, kept current by incremental sync."""
+    """A vehicle's local map, kept current by incremental sync.
+
+    With ``wire=True`` each sync round-trips the delta through the
+    binary wire format (:mod:`repro.pack.delta`), and
+    ``bytes_downloaded`` counts the actual encoded bytes instead of the
+    ``CHANGE_RECORD_BYTES`` estimate.
+    """
 
     server: MapDistributionServer
     local: HDMap = None  # type: ignore[assignment]
     synced_version: int = -1
     bytes_downloaded: int = 0
+    wire: bool = False
 
     CHANGE_RECORD_BYTES = 48
 
@@ -239,20 +246,30 @@ class VehicleMapClient:
         """
         if self.synced_version == self.server.version:
             return 0
-        return self.apply_delta(self.server.delta_since(self.synced_version))
+        delta = self.server.delta_since(self.synced_version)
+        if self.wire:
+            from repro.pack.delta import decode_delta, encode_delta
 
-    def apply_delta(self, delta: SyncDelta) -> int:
+            blob = encode_delta(delta)
+            self.bytes_downloaded += len(blob)
+            return self.apply_delta(decode_delta(blob), count_bytes=False)
+        return self.apply_delta(delta)
+
+    def apply_delta(self, delta: SyncDelta, count_bytes: bool = True) -> int:
         """Apply an atomic :class:`SyncDelta`; returns changes applied.
 
         Stale deltas (captured at or before the client's version) are
         ignored, so out-of-order delivery can never roll the client back.
+        ``count_bytes=False`` skips the per-change download estimate (the
+        wire path already counted the real encoded bytes).
         """
         if delta.version <= self.synced_version:
             return 0
         applied = 0
         for change in delta.changes:
             eid = change.element_id
-            self.bytes_downloaded += self.CHANGE_RECORD_BYTES
+            if count_bytes:
+                self.bytes_downloaded += self.CHANGE_RECORD_BYTES
             element = delta.elements.get(eid)
             in_local = eid in self.local
             if element is not None:

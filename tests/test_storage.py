@@ -121,6 +121,50 @@ class TestBinary:
             decode_map(b"XXXX" + b"\x00" * 16)
 
 
+class TestDecodeHardening:
+    """decode_map must raise StorageError — never a raw struct.error /
+    zlib.error / IndexError — on any truncated or corrupt input."""
+
+    @pytest.fixture(scope="class")
+    def blob(self):
+        hdmap = HDMap("tiny")
+        lane = hdmap.create(Lane, centerline=straight([0, 0], [40, 0]))
+        hdmap.create(TrafficSign, position=np.array([10.0, 3.0]),
+                     sign_type=SignType.STOP)
+        hdmap.create_regulatory(rule_type=RuleType.SPEED_LIMIT,
+                                lanes=[lane.id], value=13.9)
+        return encode_map(hdmap)
+
+    def test_truncation_at_every_boundary(self, blob):
+        # every prefix: header cuts, payload-length cuts, body cuts
+        for cut in range(len(blob)):
+            with pytest.raises(StorageError):
+                decode_map(blob[:cut])
+
+    def test_corrupt_zlib_payload(self, blob):
+        for offset in (9, 9 + (len(blob) - 9) // 2, len(blob) - 1):
+            broken = bytearray(blob)
+            broken[offset] ^= 0xFF
+            with pytest.raises(StorageError):
+                decode_map(bytes(broken))
+
+    def test_unsupported_version(self, blob):
+        broken = blob[:4] + b"\x63" + blob[5:]
+        with pytest.raises(StorageError, match="version"):
+            decode_map(broken)
+
+    def test_accepts_buffer_input(self, blob):
+        again = decode_map(memoryview(blob))
+        assert len(again) == 3
+
+    def test_declared_length_past_eof(self, blob):
+        import struct
+
+        header = blob[:4] + struct.pack("<BI", blob[4], len(blob) * 2)
+        with pytest.raises(StorageError, match="truncated"):
+            decode_map(header + blob[9:])
+
+
 class TestPointCloud:
     def test_cloud_density_scales_with_area(self, highway, rng):
         sparse = build_pointcloud_map(highway, rng, points_per_m2=5.0)

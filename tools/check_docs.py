@@ -39,10 +39,11 @@ KNOB_NAMESPACES = (
     "repro.obs",
     "repro.update.distribution",
     "repro.cluster",
+    "repro.pack",
 )
 
 METRIC_TOKEN = re.compile(
-    r"`((?:serve|ingest|perf|log|cluster)\.[A-Za-z0-9_.<>]+)`")
+    r"`((?:serve|ingest|perf|log|cluster|pack)\.[A-Za-z0-9_.<>]+)`")
 KNOB_CALL = re.compile(
     r"`([A-Za-z][A-Za-z0-9_]*)\(([a-z][a-z0-9_]*)=")
 CLI_FLAG = re.compile(r"`(--[a-z][a-z0-9-]+)`")
@@ -119,6 +120,21 @@ def _metric_universe() -> Set[str]:
         names |= set(cluster_registry.snapshot())
     finally:
         router.close()
+
+    # pack.* names come from a tiny pack-backed store: one zero-copy
+    # read and one decode touch every serving counter.
+    from repro.storage.tilestore import TileStore as _TileStore
+
+    pack_registry = MetricsRegistry()
+    with tempfile.TemporaryDirectory() as tmp:
+        pack_path = os.path.join(tmp, "docs-check.pack")
+        _TileStore.build(city, tile_size=250.0).to_pack(pack_path)
+        packed = _TileStore.from_pack(pack_path)
+        tile = packed.tiles()[0]
+        packed.encoded_view(tile)
+        packed.load_tile(tile)
+        packed.pack_reader.register_into(pack_registry)
+        names |= set(pack_registry.snapshot())
     return names
 
 
