@@ -6,9 +6,13 @@ tile ownership moves as capacity grows. This bench exercises
 :mod:`repro.cluster` end-to-end on the synthetic substrate:
 
 - **throughput scaling** — aggregate ``GetTile`` throughput at 2 shards
-  must clear 1.5x the single-shard run. With per-shard RPC serialized on
-  the shard handle, N shards admit N concurrent simulated service
-  sleeps, so the sweep isolates routing-tier scaling even on one core;
+  must clear 1.5x the single-shard run. The probe pins the router to the
+  lockstep discipline (``pipeline=False``: one outstanding call per
+  shard, no replicas, no coalescing), so N shards admit exactly N
+  concurrent simulated service sleeps and the sweep isolates
+  routing-tier scaling even on one core. The concurrent read path's own
+  speedups (replica round-robin, pipelined scatter-gather, single-flight
+  coalescing) are gated separately in ``bench_s08_readpath.py``;
 - **failover** — killing a shard mid-read must be absorbed by a replica
   or a journal restart, never surfaced to the caller;
 - **chaos certification** — the ``shard`` fault class (crash, slow
@@ -37,9 +41,12 @@ _SERVICE_LATENCY_S = 0.02
 
 
 def _throughput(city, n_shards: int) -> float:
+    # lockstep discipline: the per-shard-serialized baseline this bench
+    # was written against (the pipelined path is S8's to gate)
     router = ClusterRouter(city, n_shards=n_shards, tile_size=120.0,
                            transport="process", n_workers=2,
-                           service_latency_s=_SERVICE_LATENCY_S)
+                           service_latency_s=_SERVICE_LATENCY_S,
+                           pipeline=False)
     try:
         by_shard = {}
         for tile in router.tiles():

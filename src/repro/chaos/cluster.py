@@ -17,8 +17,10 @@ class:
 
 The workload is a deterministic patch stream (seeded positions, strictly
 increasing confidence so conflict resolution never depends on per-shard
-version spacing) interleaved with pinned reads and incremental client
-syncs. The same four invariants as the single-node matrix are certified
+version spacing) interleaved with *concurrent bursts* of pinned reads —
+exercising the pipelined connections and replica-routed read path, so an
+injected crash lands with multiple requests genuinely in flight — and
+incremental client syncs. The same four invariants as the single-node matrix are certified
 from the cluster's observable surfaces — the router journal, the merged
 snapshot, each shard's change log, response versions, and the router's
 freshness histogram:
@@ -49,6 +51,7 @@ applied through a plain single-node :class:`MapService`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -165,10 +168,15 @@ class ClusterChaosHarness:
         EVENT_LOG.clear()
         w = self.workload
         t_start = time.perf_counter()
+        # pipeline/replica_reads explicitly on: the invariants are
+        # certified against the concurrent read path (kill-mid-pipeline,
+        # replica-served reads under the version floor), not the legacy
+        # lockstep baseline.
         router = ClusterRouter(
             self.hdmap, n_shards=w.n_shards, tile_size=w.tile_size,
             replicas=w.replicas, transport=w.transport,
-            call_timeout_s=w.call_timeout_s, lease_s=w.lease_s)
+            call_timeout_s=w.call_timeout_s, lease_s=w.lease_s,
+            pipeline=True, replica_reads=True)
         try:
             crash = self.plan.point(CLUSTER_SHARD_CRASH)
             slow = self.plan.point(CLUSTER_SLOW_SHARD)
@@ -195,11 +203,30 @@ class ClusterChaosHarness:
                     versions_seen.append(response.version)
                 else:
                     failed_writes += 1
-                for r in range(w.reads_per_op):
+                # Reads go out as a concurrent burst — many requests in
+                # flight on the same pipelined connections, so an
+                # injected crash lands mid-pipeline with real overlap.
+                burst_versions: List[int] = []
+                burst_lock = threading.Lock()
+
+                def one_read(r: int) -> None:
                     tile = tiles[(i * w.reads_per_op + r) % len(tiles)]
                     read = router.request(GetTile(tile=tile, encoded=True))
                     if read.ok:
-                        versions_seen.append(read.version)
+                        with burst_lock:
+                            burst_versions.append(read.version)
+
+                readers = [threading.Thread(target=one_read, args=(r,),
+                                            daemon=True)
+                           for r in range(w.reads_per_op)]
+                for t in readers:
+                    t.start()
+                for t in readers:
+                    t.join()
+                # Concurrent observations carry no order between them;
+                # sorting within the burst keeps the monotonicity check
+                # about the cluster version, not thread scheduling.
+                versions_seen.extend(sorted(burst_versions))
                 if (i + 1) % w.sync_every == 0:
                     client.sync()
             client.sync()

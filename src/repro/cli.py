@@ -10,6 +10,7 @@ Usage::
     python -m repro ingest-bench city.json --workers 1,4 --vehicles 4
     python -m repro chaos-bench city.json --classes sensor,pipeline
     python -m repro cluster-bench city.json --shards 1,2 --check-scaling 1.5
+    python -m repro cluster-bench city.json --replicas 1 --pipeline --check-scaling
     python -m repro pack-bench city.json --check --out PACK_BENCH.json
     python -m repro taxonomy
     python -m repro perf-bench --out BENCH_PERF.json
@@ -499,28 +500,93 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cluster_bench(args: argparse.Namespace) -> int:
-    """Sweep shard counts and measure aggregate GetTile throughput.
+def _cluster_read_throughput(router, requests: int,
+                             clients: int) -> tuple:
+    """Aggregate encoded-GetTile req/s against a live router.
 
-    Per-shard RPC calls serialize on the shard handle, so the sweep
-    shows routing-tier scaling directly: N shards admit N concurrent
-    in-flight requests, and with a simulated per-request service cost
-    the aggregate throughput grows near-linearly until the client count
-    stops covering the shards.
+    Clients are pinned to one shard and walk *disjoint* subsets of its
+    tiles, so two clients never issue the same tile concurrently — the
+    router's single-flight coalescing cannot share responses and the
+    number measures backend capacity, nothing else.
     """
     import threading
 
-    from repro.cluster import ClusterRouter
     from repro.serve.api import GetTile
+
+    by_shard: dict = {}
+    for tile in router.tiles():
+        by_shard.setdefault(router.owner_of_tile(tile), []).append(tile)
+    shard_tiles = [by_shard[s] for s in sorted(by_shard)]
+    n_lists = len(shard_tiles)
+    errors = [0] * clients
+    done = [0] * clients
+    share = [requests // clients] * clients
+    for i in range(requests % clients):
+        share[i] += 1
+
+    def worker(me: int) -> None:
+        tiles = shard_tiles[me % n_lists]
+        rank = me // n_lists
+        peers = len(range(me % n_lists, clients, n_lists))
+        mine = tiles[rank % len(tiles)::peers] or \
+            [tiles[rank % len(tiles)]]
+        for k in range(share[me]):
+            tile = mine[k % len(mine)]
+            response = router.request(GetTile(tile=tile, encoded=True))
+            if not response.ok:
+                errors[me] += 1
+            done[me] += 1
+
+    threads = [threading.Thread(target=worker, args=(i,),
+                                name=f"bench-client-{i}")
+               for i in range(clients)]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    throughput = sum(done) / elapsed if elapsed > 0 else 0.0
+    return throughput, sum(errors), elapsed
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    """Sweep shard counts; optionally gate the concurrent read path.
+
+    The sweep measures aggregate encoded-GetTile throughput per shard
+    count (pipelined connections, so N shards x W workers concurrent
+    requests overlap their simulated service cost). ``--pipeline`` adds
+    the read-path suite: replica read scaling vs the legacy lockstep
+    baseline, concurrent vs serial scatter-gather, and single-flight
+    GetTile coalescing with byte-parity. ``--check-scaling`` turns the
+    measured ratios into hard gates; every number lands in ``--out``.
+    """
+    import json
+    import threading
+
+    from repro.cluster import ClusterRouter
+    from repro.serve.api import ChangesSince, GetTile
     from repro.storage import load_map
 
     hdmap = load_map(args.map)
     latency_s = args.service_latency_ms / 1e3
+    check = args.check_scaling is not None
+    sweep_gate = args.check_scaling if check and args.check_scaling > 0 \
+        else 1.5
+    failures: List[str] = []
+    report: dict = {
+        "map": hdmap.name, "transport": args.transport,
+        "service_latency_ms": args.service_latency_ms,
+        "requests": args.requests, "clients": args.clients,
+        "sweep": [], "gates": {},
+    }
+
+    # -- shard-count sweep ----------------------------------------------
     print(f"cluster GetTile sweep against {hdmap.name} "
           f"({args.requests} requests, {args.clients} client(s), "
           f"{args.service_latency_ms:g} ms simulated service cost, "
           f"transport={args.transport})")
-    print(f"{'shards':>6} {'reqs':>7} {'errors':>7} {'elapsed':>9} "
+    print(f"{'shards':>6} {'errors':>7} {'elapsed':>9} "
           f"{'throughput':>12}")
     results: List[tuple] = []
     for n_shards in args.shards:
@@ -529,60 +595,161 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
             replicas=args.replicas, transport=args.transport,
             n_workers=args.workers, service_latency_s=latency_s)
         try:
-            # Pin each client to one shard's tiles: per-shard calls
-            # serialize on the shard handle, so even per-shard load is
-            # what lets N shards overlap N simulated service sleeps.
-            by_shard: dict = {}
-            for tile in router.tiles():
-                by_shard.setdefault(router.owner_of_tile(tile),
-                                    []).append(tile)
-            shard_tiles = [by_shard[s] for s in sorted(by_shard)]
-            errors = [0] * args.clients
-            done = [0] * args.clients
-            share = [args.requests // args.clients] * args.clients
-            for i in range(args.requests % args.clients):
-                share[i] += 1
-
-            def worker(me: int) -> None:
-                tiles = shard_tiles[me % len(shard_tiles)]
-                for k in range(share[me]):
-                    tile = tiles[k % len(tiles)]
-                    response = router.request(GetTile(tile=tile,
-                                                      encoded=True))
-                    if not response.ok:
-                        errors[me] += 1
-                    done[me] += 1
-
-            threads = [threading.Thread(target=worker, args=(i,),
-                                        name=f"bench-client-{i}")
-                       for i in range(args.clients)]
-            t0 = time.perf_counter()
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            elapsed = time.perf_counter() - t0
+            throughput, failed, elapsed = _cluster_read_throughput(
+                router, args.requests, args.clients)
         finally:
             router.close()
-        completed = sum(done)
-        failed = sum(errors)
-        throughput = completed / elapsed if elapsed > 0 else 0.0
         results.append((n_shards, throughput, failed))
-        print(f"{n_shards:>6} {completed:>7} {failed:>7} "
-              f"{elapsed:>8.2f}s {throughput:>9.1f} req/s")
+        report["sweep"].append({"shards": n_shards,
+                                "throughput_rps": round(throughput, 1),
+                                "errors": failed,
+                                "elapsed_s": round(elapsed, 3)})
+        print(f"{n_shards:>6} {failed:>7} {elapsed:>8.2f}s "
+              f"{throughput:>9.1f} req/s")
     if any(failed for _, _, failed in results):
-        print("CLUSTER BENCH FAILED: request errors", file=sys.stderr)
-        return 1
-    if args.check_scaling and len(results) >= 2:
+        failures.append("request errors during the shard sweep")
+    if check and len(results) >= 2:
         base_shards, base_tp, _ = results[0]
         peak_shards, peak_tp, _ = max(results[1:], key=lambda r: r[1])
         factor = peak_tp / base_tp if base_tp > 0 else 0.0
+        report["gates"]["sweep_scaling"] = {
+            "factor": round(factor, 2), "required": sweep_gate}
         print(f"scaling: {peak_shards} shard(s) vs {base_shards} -> "
-              f"{factor:.2f}x (required >= {args.check_scaling:g}x)")
-        if factor < args.check_scaling:
-            print(f"CLUSTER BENCH FAILED: scaling {factor:.2f}x below "
-                  f"{args.check_scaling:g}x", file=sys.stderr)
-            return 1
+              f"{factor:.2f}x (required >= {sweep_gate:g}x)")
+        if factor < sweep_gate:
+            failures.append(f"shard scaling {factor:.2f}x below "
+                            f"{sweep_gate:g}x")
+
+    # -- pipelined read-path suite --------------------------------------
+    if args.pipeline:
+        # 1. Replica read scaling: 1 replica/shard with pipelining vs
+        # the replica-less legacy lockstep router at equal shard count.
+        n_shards = 2
+        clients = max(args.clients, 16)
+        print(f"replica read scaling: {n_shards} shard(s), {clients} "
+              f"client(s), {args.requests} requests per mode")
+        baseline_rps = replicated_rps = 0.0
+        for label, kwargs in (
+                ("baseline", dict(replicas=0, pipeline=False)),
+                ("1 replica", dict(replicas=1, pipeline=True,
+                                   replica_reads=True))):
+            router = ClusterRouter(
+                hdmap, n_shards=n_shards, tile_size=args.tile_size,
+                transport=args.transport, n_workers=args.workers,
+                service_latency_s=latency_s, **kwargs)
+            try:
+                rps, failed, _ = _cluster_read_throughput(
+                    router, args.requests, clients)
+                hits = router.replica_hits.value
+            finally:
+                router.close()
+            if failed:
+                failures.append(f"replica suite: {failed} error(s) "
+                                f"({label})")
+            if label == "baseline":
+                baseline_rps = rps
+            else:
+                replicated_rps = rps
+            print(f"  {label:>10}: {rps:>9.1f} req/s"
+                  + (f"  (replica_hits={hits})" if hits else ""))
+        replica_speedup = replicated_rps / baseline_rps \
+            if baseline_rps > 0 else 0.0
+        report["gates"]["replica_speedup"] = {
+            "baseline_rps": round(baseline_rps, 1),
+            "replicated_rps": round(replicated_rps, 1),
+            "factor": round(replica_speedup, 2),
+            "required": args.min_replica_speedup}
+        print(f"  replica speedup: {replica_speedup:.2f}x "
+              f"(required >= {args.min_replica_speedup:g}x)")
+        if check and replica_speedup < args.min_replica_speedup:
+            failures.append(f"replica speedup {replica_speedup:.2f}x "
+                            f"below {args.min_replica_speedup:g}x")
+
+        # 2 + 3. Scatter-gather and coalescing share one slow-handler
+        # router: every shard call pays the simulated service cost, so
+        # serial broadcasts cost ~shards x latency while concurrent
+        # ones cost ~1 x, and concurrent identical GetTiles overlap
+        # long enough to coalesce. Six shards put the ideal speedup at
+        # 6x — comfortable margin over the 3x gate on noisy runners.
+        scatter_shards = 6
+        router = ClusterRouter(
+            hdmap, n_shards=scatter_shards, tile_size=args.tile_size,
+            transport=args.transport, n_workers=args.workers,
+            service_latency_s=latency_s)
+        try:
+            broadcasts = 10
+            timings = {}
+            # Concurrent first: it pays any warmup, which only flatters
+            # the serial baseline — conservative for the gate.
+            for mode in ("concurrent", "serial"):
+                router.scatter = mode
+                t0 = time.perf_counter()
+                for _ in range(broadcasts):
+                    response = router.request(ChangesSince(since_version=0))
+                    if not response.ok:
+                        failures.append(f"scatter suite: {response.error}")
+                timings[mode] = time.perf_counter() - t0
+            router.scatter = "concurrent"
+            scatter_speedup = timings["serial"] / timings["concurrent"] \
+                if timings["concurrent"] > 0 else 0.0
+            report["gates"]["scatter_speedup"] = {
+                "serial_s": round(timings["serial"], 3),
+                "concurrent_s": round(timings["concurrent"], 3),
+                "factor": round(scatter_speedup, 2),
+                "required": args.min_scatter_speedup}
+            print(f"scatter-gather ({broadcasts} ChangesSince broadcasts "
+                  f"over {scatter_shards} shards): serial "
+                  f"{timings['serial']:.2f}s, concurrent "
+                  f"{timings['concurrent']:.2f}s -> "
+                  f"{scatter_speedup:.2f}x "
+                  f"(required >= {args.min_scatter_speedup:g}x)")
+            if check and scatter_speedup < args.min_scatter_speedup:
+                failures.append(f"scatter speedup {scatter_speedup:.2f}x "
+                                f"below {args.min_scatter_speedup:g}x")
+
+            # Coalescing byte-parity: identical concurrent encoded
+            # GetTiles must collapse onto one flight and every caller
+            # must see byte-identical payloads — including a fresh
+            # uncoalesced read afterwards.
+            tile = router.tiles()[0]
+            burst = 8
+            payloads: List[object] = [None] * burst
+
+            def one(slot: int) -> None:
+                response = router.request(GetTile(tile=tile, encoded=True))
+                payloads[slot] = response.payload if response.ok else None
+
+            threads = [threading.Thread(target=one, args=(s,))
+                       for s in range(burst)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            solo = router.request(GetTile(tile=tile, encoded=True))
+            reference = solo.payload if solo.ok else None
+            divergent = sum(1 for p in payloads
+                            if p is None or bytes(p) != bytes(reference))
+            coalesced = router.read_coalesced.value
+            report["gates"]["coalesce"] = {
+                "burst": burst, "coalesced": coalesced,
+                "divergent": divergent}
+            print(f"coalescing: {burst} identical concurrent GetTiles -> "
+                  f"{coalesced} coalesced, {divergent} divergent payload(s)")
+            if divergent:
+                failures.append(f"{divergent} coalesced response(s) "
+                                f"diverged from the uncoalesced payload")
+            if check and coalesced == 0:
+                failures.append("no requests coalesced during the burst")
+        finally:
+            router.close()
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"report -> {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"CLUSTER BENCH FAILED: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -955,8 +1122,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard counts to sweep (default 1,2)")
     cluster.add_argument("--requests", type=int, default=400,
                          help="total GetTile requests per shard count")
-    cluster.add_argument("--clients", type=int, default=4,
-                         help="concurrent client threads")
+    cluster.add_argument("--clients", type=int, default=16,
+                         help="concurrent client threads (must exceed "
+                              "aggregate shard capacity for the sweep "
+                              "to show scaling)")
     cluster.add_argument("--workers", type=int, default=2,
                          help="MapService workers per shard")
     cluster.add_argument("--replicas", type=int, default=0,
@@ -969,10 +1138,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "shard-count scaling on few cores")
     cluster.add_argument("--transport", choices=("process", "local"),
                          default="process")
+    cluster.add_argument("--pipeline", action="store_true",
+                         help="run the concurrent read-path suite: "
+                              "replica read scaling vs the lockstep "
+                              "baseline, concurrent vs serial scatter-"
+                              "gather, and GetTile coalescing parity")
     cluster.add_argument("--check-scaling", type=float, default=None,
-                         metavar="FACTOR",
-                         help="fail unless best throughput >= FACTOR x "
-                              "the first shard count's")
+                         nargs="?", const=-1.0, metavar="FACTOR",
+                         help="enforce the gates; with a FACTOR, require "
+                              "best sweep throughput >= FACTOR x the "
+                              "first shard count's (bare flag: 1.5x)")
+    cluster.add_argument("--min-replica-speedup", type=float, default=2.0,
+                         help="required 1-replica/shard vs replica-less "
+                              "read throughput ratio (--pipeline)")
+    cluster.add_argument("--min-scatter-speedup", type=float, default=3.0,
+                         help="required serial/concurrent scatter-gather "
+                              "latency ratio (--pipeline)")
+    cluster.add_argument("--out", default="CLUSTER_BENCH.json",
+                         help="machine-readable report path")
     cluster.set_defaults(func=_cmd_cluster_bench)
 
     pack = sub.add_parser(

@@ -17,6 +17,7 @@ from repro.cluster.router import (
     ProcessShard,
 )
 from repro.cluster.rpc import (
+    PipelinedConnection,
     RpcConnection,
     RpcError,
     ShardDead,
@@ -29,6 +30,7 @@ __all__ = [
     "ClusterMapClient",
     "ClusterRouter",
     "LocalShard",
+    "PipelinedConnection",
     "ProcessShard",
     "RpcConnection",
     "RpcError",

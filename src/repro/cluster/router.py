@@ -29,6 +29,21 @@ N → N+1 starts the new shard from the journal and simply swaps the
 ownership map, leaving old shards' moved-tile state in place but
 unobservable.
 
+The read path is concurrent end to end. Each shard connection is
+pipelined (:class:`~repro.cluster.rpc.PipelinedConnection`): any number
+of router threads keep calls in flight on the one socket, and the shard
+answers out of order as its worker pool finishes. Reads therefore do
+NOT hold the shard handle lock across the RPC — they take it only to
+pick a target — and scatter-gather ops issue every shard call at once
+and join. Eligible reads (GetTile/SpatialQuery/ChangesSince) round-
+robin across the primary and live replicas, guarded by a **version
+floor**: a reply below the shard version this router has already
+observed is discarded (``cluster.read.replica_lag``) and the read
+retries on the primary, so replica scaling never weakens version
+monotonicity. Identical concurrent GetTiles coalesce into a single
+flight (``cluster.read.coalesced``). ``pipeline=False`` restores the
+legacy lockstep discipline as a measurement baseline.
+
 Reads fail over to a replica when the primary dies mid-call; writes
 restart the primary first (replicas receive acked patches synchronously,
 so a replica is always at-or-behind the journal and catches up by
@@ -44,7 +59,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.cluster.rpc import RpcConnection, RpcError, ShardDead, ShardTimeout
+from repro.cluster.rpc import (
+    PipelinedConnection,
+    RpcError,
+    ShardDead,
+    ShardTimeout,
+)
 from repro.cluster.shard import ShardBackend, ShardConfig, shard_main
 from repro.core.changes import ChangeType, MapChange
 from repro.core.hdmap import HDMap
@@ -101,9 +121,10 @@ class LocalShard:
     """In-process transport: direct dispatch, no sockets, no fork.
 
     Used by unit tests and doc tooling where process isolation is not
-    the point. ``slow``-injected delays block the caller (there is no
-    concurrent receive loop to time out), so timeout-driven chaos runs
-    on :class:`ProcessShard`.
+    the point. Concurrent calls are naturally pipelined (each caller
+    thread dispatches straight into the thread-safe backend), but
+    ``slow``-injected delays block the caller (there is no receive loop
+    to time out), so timeout-driven chaos runs on :class:`ProcessShard`.
     """
 
     mode = "local"
@@ -137,7 +158,12 @@ class LocalShard:
 
 
 class ProcessShard:
-    """Forked shard process behind a socketpair RPC connection."""
+    """Forked shard process behind a pipelined socketpair connection.
+
+    Any number of router threads may have calls in flight on the one
+    socket at once; the shard answers ``serve`` ops out of order as its
+    worker pool finishes them (see :class:`PipelinedConnection`).
+    """
 
     mode = "process"
 
@@ -152,7 +178,7 @@ class ProcessShard:
         # Close our copy of the child end immediately: EOF detection on
         # shard death depends on the child end living only in the child.
         child.close()
-        self._conn = RpcConnection(parent)
+        self._conn = PipelinedConnection(parent)
 
     @property
     def alive(self) -> bool:
@@ -199,13 +225,39 @@ class _ShardHandle:
 
     def __init__(self, index: int) -> None:
         self.index = index
-        # Serializes all RPC on this shard's connections (the RPC layer
-        # is lockstep) and any restart decision about this shard.
+        # Serializes writes, restart/topology decisions, and lease pings
+        # for this shard. Reads do NOT hold it across the RPC — the
+        # pipelined connection multiplexes any number of concurrent
+        # calls — they only take it briefly to pick a target.
         self.lock = threading.RLock()
+        # Leaf lock for the last_version read-modify-write (reads finish
+        # concurrently and must never let a smaller version overwrite a
+        # larger one).
+        self.vlock = threading.Lock()
         self.primary: Optional[Any] = None
         self.replicas: List[Any] = []
         self.lease_until = 0.0
         self.last_version = 0
+        # Round-robin cursor across primary + live replicas for
+        # replica-routed reads.
+        self.rr = 0
+
+
+class _Flight:
+    """One in-progress coalesced GetTile; followers wait on ``done``."""
+
+    __slots__ = ("done", "response")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.response: Optional[Response] = None
+
+
+#: Request kinds replicas may serve (static tiles and dynamic reads
+#: guarded by the version floor). Snapshot stays pinned to primaries:
+#: it feeds bootstrap/journal-parity checks where the authoritative
+#: copy is worth the load imbalance.
+_REPLICA_READ_KINDS = (GetTile, SpatialQuery, ChangesSince)
 
 
 class ClusterRouter:
@@ -231,6 +283,9 @@ class ClusterRouter:
                  registry: Optional[MetricsRegistry] = None,
                  pack_path: Optional[str] = None,
                  journal_warn_threshold: int = 10_000,
+                 pipeline: bool = True,
+                 replica_reads: bool = True,
+                 scatter: str = "concurrent",
                  clock: Callable[[], float] = time.monotonic) -> None:
         if n_shards < 1:
             raise ClusterError("n_shards must be >= 1")
@@ -238,11 +293,25 @@ class ClusterRouter:
             raise ClusterError("replicas must be >= 0")
         if transport not in ("process", "local"):
             raise ClusterError(f"unknown transport {transport!r}")
+        if scatter not in ("concurrent", "serial"):
+            raise ClusterError(f"unknown scatter mode {scatter!r}")
         self.n_shards = n_shards
         self.replicas = replicas
         self.transport = transport
         self.call_timeout_s = call_timeout_s
         self.lease_s = lease_s
+        #: ``pipeline=False`` restores the legacy one-outstanding-call-
+        #: per-shard read discipline (the handle lock held across the
+        #: RPC) — the measurement baseline ``cluster-bench --pipeline``
+        #: compares against. Writes serialize either way.
+        self.pipeline = pipeline
+        #: route eligible reads round-robin across primary + replicas
+        #: (guarded by the per-request version floor); ``False`` keeps
+        #: replicas failover-only.
+        self.replica_reads = replica_reads
+        #: scatter-gather dispatch: ``"concurrent"`` issues all shard
+        #: calls at once and joins; ``"serial"`` iterates (baseline).
+        self.scatter = scatter
         self._start_method = start_method
         self._clock = clock
         self._name = hdmap.name
@@ -301,6 +370,22 @@ class ClusterRouter:
         self.rebalances = Counter()
         self.shards_gauge = Gauge()
         self.shards_gauge.set(n_shards)
+        # Read-path concurrency instrumentation: replica_hits counts
+        # reads a replica actually served, replica_lag counts reads a
+        # replica answered below the version floor (retried on the
+        # primary), read_coalesced counts GetTile callers that piggy-
+        # backed on another caller's identical in-flight read.
+        self.replica_hits = Counter()
+        self.replica_lag = Counter()
+        self.read_coalesced = Counter()
+        self.rpc_inflight = Gauge()
+        self._inflight = 0
+        self._inflight_peak = 0
+        self._inflight_lock = threading.Lock()
+        # In-progress coalesced GetTiles keyed by (tile, encoded,
+        # max_staleness); leaders insert, followers wait.
+        self._flights: Dict[Tuple, _Flight] = {}
+        self._flight_lock = threading.Lock()
         self._shard_latency: Dict[str, LatencyHistogram] = {}
         self._shard_outcomes: Dict[str, int] = {}
         if registry is not None:
@@ -462,11 +547,34 @@ class ClusterRouter:
                 self._restart_primary_locked(handle)
         return handle.primary
 
+    # -- rpc ------------------------------------------------------------
+    def _call(self, shard, op: str, payload: Any = None,
+              timeout_s: Optional[float] = None) -> Any:
+        """All shard RPCs funnel through here so ``cluster.rpc.inflight``
+        tracks router-wide concurrency regardless of transport."""
+        with self._inflight_lock:
+            self._inflight += 1
+            if self._inflight > self._inflight_peak:
+                self._inflight_peak = self._inflight
+            self.rpc_inflight.set(self._inflight)
+        try:
+            return shard.call(op, payload, timeout_s=timeout_s)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                self.rpc_inflight.set(self._inflight)
+
     # -- versions -------------------------------------------------------
     def _note_version(self, handle: _ShardHandle,
                       version: Optional[int]) -> None:
-        if version is not None and version > handle.last_version:
-            handle.last_version = version
+        if version is None:
+            return
+        # vlock, not handle.lock: reads complete concurrently, and an
+        # unlocked check-then-set would let a smaller version overwrite
+        # a larger one.
+        with handle.vlock:
+            if version > handle.last_version:
+                handle.last_version = version
 
     @property
     def version(self) -> int:
@@ -489,13 +597,13 @@ class ClusterRouter:
     # -- reads ----------------------------------------------------------
     def _replica_read_locked(self, handle: _ShardHandle, index: int,
                              request: Request) -> Optional[Response]:
-        """Serve a read from the first live replica, or ``None``."""
+        """Failover read: first live replica answers, or ``None``."""
         for slot, replica in enumerate(handle.replicas):
             if not replica.alive:
                 continue
             try:
-                response = replica.call(
-                    "serve", request, timeout_s=self.call_timeout_s)
+                response = self._call(replica, "serve", request,
+                                      timeout_s=self.call_timeout_s)
             except (ShardDead, ShardTimeout):
                 continue
             self.failovers.add()
@@ -506,9 +614,81 @@ class ClusterRouter:
         return None
 
     def _read(self, index: int, request: Request) -> Response:
-        """Pin a read to shard ``index``; fail over to a replica, then
-        to a journal-restarted primary. Never raises — routing failure
-        becomes an ERROR response, like any handler failure."""
+        """Route a read on shard ``index``: round-robin across primary +
+        live replicas when eligible, else pin to the primary. Never
+        raises — routing failure becomes an ERROR response."""
+        handle = self._handles[index]
+        if not self.pipeline:
+            # Legacy lockstep discipline: one outstanding read per
+            # shard, the handle lock held across the RPC (the baseline
+            # `cluster-bench --pipeline` measures against).
+            with handle.lock:
+                return self._read_primary(index, request)
+        if (self.replica_reads and handle.replicas
+                and isinstance(request, _REPLICA_READ_KINDS)):
+            with handle.lock:
+                choices: List[Tuple[Optional[int], Any]] = []
+                if handle.primary is not None and handle.primary.alive:
+                    choices.append((None, handle.primary))
+                primary_ok = bool(choices)
+                for slot, replica in enumerate(handle.replicas):
+                    if replica.alive:
+                        choices.append((slot, replica))
+                if choices:
+                    handle.rr += 1
+                    slot, target = choices[handle.rr % len(choices)]
+                else:
+                    slot = None
+                # Version floor: this router has already observed the
+                # shard at last_version, so no read may answer below it.
+                floor = handle.last_version
+            if slot is not None:
+                response = self._replica_serve(
+                    handle, index, request, slot, target, floor,
+                    primary_ok)
+                if response is not None:
+                    return response
+        return self._read_primary(index, request)
+
+    def _replica_serve(self, handle: _ShardHandle, index: int,
+                       request: Request, slot: int, replica: Any,
+                       floor: int, primary_ok: bool
+                       ) -> Optional[Response]:
+        """One replica attempt; ``None`` means retry on the primary."""
+        try:
+            response = self._call(replica, "serve", request,
+                                  timeout_s=self.call_timeout_s)
+        except ShardDead:
+            with handle.lock:
+                # Identity check: a concurrent reader may already have
+                # restarted this slot.
+                if (slot < len(handle.replicas)
+                        and handle.replicas[slot] is replica):
+                    self._restart_replica_locked(handle, slot)
+            return None
+        except ShardTimeout:
+            self.timeouts.add()
+            return None
+        if (response.version is not None
+                and response.version < floor):
+            # Replica lagging behind what this router has already seen
+            # of the shard: serving it would break version monotonicity.
+            self.replica_lag.add()
+            return None
+        self._note_version(handle, response.version)
+        if response.ok:
+            self.replica_hits.add()
+        if not primary_ok:
+            # The primary is down and a replica took the read — that is
+            # a failover, same accounting as the pinned-read path.
+            self.failovers.add()
+            _log.warning("read_failover", shard=index,
+                         replica=slot, kind=request.kind)
+        return response
+
+    def _read_primary(self, index: int, request: Request) -> Response:
+        """Pin a read to shard ``index``'s primary; fail over to a
+        replica, then to a journal-restarted primary."""
         handle = self._handles[index]
         with handle.lock:
             # A primary already observed dead costs nothing to detect;
@@ -516,53 +696,105 @@ class ClusterRouter:
             # restart on the read path. The next write (which replicas
             # cannot take) restarts it.
             if handle.primary is None or not handle.primary.alive:
-                response = self._replica_read_locked(handle, index, request)
+                response = self._replica_read_locked(handle, index,
+                                                     request)
                 if response is not None:
                     return response
-            try:
-                shard = self._ensure_primary_locked(handle)
-                response = shard.call("serve", request,
-                                      timeout_s=self.call_timeout_s)
-                handle.lease_until = self._clock() + self.lease_s
-                self._note_version(handle, response.version)
-                return response
-            except (ShardDead, ShardTimeout) as exc:
-                if isinstance(exc, ShardTimeout):
-                    self.timeouts.add()
-                # Leave the primary dead; the next write (or this read's
-                # last resort below) restarts it from the journal.
+            shard = self._ensure_primary_locked(handle)
+        # The RPC itself runs outside the handle lock: the pipelined
+        # connection multiplexes any number of concurrent calls. (Under
+        # pipeline=False the caller holds the RLock around this whole
+        # method, restoring the serialized discipline.)
+        try:
+            response = self._call(shard, "serve", request,
+                                  timeout_s=self.call_timeout_s)
+        except (ShardDead, ShardTimeout) as exc:
+            return self._read_failover(handle, index, request, shard, exc)
+        handle.lease_until = self._clock() + self.lease_s
+        self._note_version(handle, response.version)
+        return response
+
+    def _read_failover(self, handle: _ShardHandle, index: int,
+                       request: Request, failed: Any,
+                       exc: Exception) -> Response:
+        if isinstance(exc, ShardTimeout):
+            self.timeouts.add()
+        with handle.lock:
+            # Kill-mid-pipeline fails every in-flight call on the shard
+            # at once; the identity check makes sure only the first
+            # caller kills/restarts, not a stampede of them.
+            if handle.primary is failed:
                 try:
-                    handle.primary.kill()
+                    failed.kill()
                 except Exception:
                     pass
-                response = self._replica_read_locked(handle, index, request)
-                if response is not None:
-                    return response
-                try:
-                    self._restart_primary_locked(handle)
-                    response = handle.primary.call(
-                        "serve", request, timeout_s=self.call_timeout_s)
-                    self._note_version(handle, response.version)
-                    return response
-                except (ShardDead, ShardTimeout) as exc2:
-                    _log.error("shard_unavailable", shard=index,
-                               kind=request.kind, error=str(exc2))
-                    return Response(
-                        Status.ERROR,
-                        error=f"shard {index} unavailable: {exc2}")
+            response = self._replica_read_locked(handle, index, request)
+            if response is not None:
+                return response
+            if handle.primary is None or not handle.primary.alive:
+                self._restart_primary_locked(handle)
+            fresh = handle.primary
+        try:
+            response = self._call(fresh, "serve", request,
+                                  timeout_s=self.call_timeout_s)
+        except (ShardDead, ShardTimeout) as exc2:
+            _log.error("shard_unavailable", shard=index,
+                       kind=request.kind, error=str(exc2))
+            return Response(
+                Status.ERROR,
+                error=f"shard {index} unavailable: {exc2}")
+        self._note_version(handle, response.version)
+        return response
 
-    def _gather(self, indices: List[int],
-                request: Request) -> List[Tuple[int, Response]]:
-        """Scatter one request to several shards concurrently."""
-        if len(indices) == 1:
-            return [(indices[0], self._read(indices[0], request))]
+    def _get_tile(self, request: GetTile) -> Response:
+        """Single-flight GetTile: identical concurrent requests collapse
+        onto one shard read, and followers return the leader's response
+        object — byte-identical by construction. Part of the concurrent
+        read path, so the legacy baseline skips it."""
+        if not self.pipeline:
+            return self._read(self.owner_of_tile(request.tile), request)
+        key = (request.tile, request.encoded, request.max_staleness)
+        with self._flight_lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+        if not leader:
+            flight.done.wait()
+            if flight.response is not None:
+                self.read_coalesced.add()
+                return flight.response
+            # Defensive: the leader died before publishing.
+            return self._read(self.owner_of_tile(request.tile), request)
+        try:
+            flight.response = self._read(
+                self.owner_of_tile(request.tile), request)
+            return flight.response
+        finally:
+            with self._flight_lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+
+    def _scatter(self, indices: List[int],
+                 fn: Callable[[int], Response]) -> Dict[int, Response]:
+        """Run ``fn`` once per shard index — all at once unless
+        configured ``scatter="serial"`` — never raising: a failure
+        becomes that shard's ERROR response."""
+        def run_one(i: int) -> Response:
+            try:
+                return fn(i)
+            except Exception as exc:  # defensive: fn should not raise
+                return Response(Status.ERROR, error=str(exc))
+
         results: Dict[int, Response] = {}
+        if self.scatter == "serial" or len(indices) == 1:
+            for i in indices:
+                results[i] = run_one(i)
+            return results
 
         def run(i: int) -> None:
-            try:
-                results[i] = self._read(i, request)
-            except Exception as exc:  # defensive: _read should not raise
-                results[i] = Response(Status.ERROR, error=str(exc))
+            results[i] = run_one(i)
 
         threads = [threading.Thread(target=run, args=(i,), daemon=True)
                    for i in indices]
@@ -570,7 +802,14 @@ class ClusterRouter:
             t.start()
         for t in threads:
             t.join()
-        return [(i, results[i]) for i in sorted(results)]
+        return results
+
+    def _gather(self, indices: List[int],
+                request: Request) -> List[Tuple[int, Response]]:
+        """Scatter one request to several shards and join."""
+        responses = self._scatter(indices,
+                                  lambda i: self._read(i, request))
+        return [(i, responses[i]) for i in sorted(responses)]
 
     # -- writes ---------------------------------------------------------
     def _match_applied(self, tile_ops, changes) -> List[Tuple]:
@@ -607,8 +846,8 @@ class ClusterRouter:
             for _attempt in range(2):
                 try:
                     shard = self._ensure_primary_locked(handle)
-                    response = shard.call(
-                        "serve", IngestPatch(patch=sub),
+                    response = self._call(
+                        shard, "serve", IngestPatch(patch=sub),
                         timeout_s=self.call_timeout_s)
                     if response.status is not Status.OK:
                         raise ClusterError(
@@ -617,7 +856,7 @@ class ClusterRouter:
                     result: IngestResult = response.payload
                     applied = list(tile_ops)
                     if result.accepted and result.dropped_ops:
-                        log = shard.call("changelog",
+                        log = self._call(shard, "changelog",
                                          timeout_s=self.call_timeout_s)
                         applied = self._match_applied(
                             tile_ops, [c for v, c in log
@@ -639,7 +878,8 @@ class ClusterRouter:
                           patch: MapPatch) -> None:
         for slot, replica in enumerate(handle.replicas):
             try:
-                replica.call("apply", patch, timeout_s=self.call_timeout_s)
+                self._call(replica, "apply", patch,
+                           timeout_s=self.call_timeout_s)
             except (ShardDead, ShardTimeout, RpcError):
                 # Restart from the journal (which already holds this
                 # patch): the replica comes back caught-up.
@@ -762,9 +1002,14 @@ class ClusterRouter:
         owner, n_shards = self._owner, self.n_shards
         deltas: Dict[int, SyncDelta] = {}
         versions: Dict[int, int] = {}
-        for index in range(n_shards):
-            request = ChangesSince(since_version=since.get(index, 0))
-            response = self._read(index, request)
+        # Every shard's ChangesSince goes out at once (subject to the
+        # scatter mode); the merge below runs in shard order either way.
+        responses = self._scatter(
+            list(range(n_shards)),
+            lambda i: self._read(
+                i, ChangesSince(since_version=since.get(i, 0))))
+        for index in sorted(responses):
+            response = responses[index]
             if not response.ok:
                 raise ClusterError(
                     f"changes_since failed on shard {index}: "
@@ -806,8 +1051,7 @@ class ClusterRouter:
         t0 = self._clock()
         try:
             if isinstance(request, GetTile):
-                response = self._read(self.owner_of_tile(request.tile),
-                                      request)
+                response = self._get_tile(request)
             elif isinstance(request, SpatialQuery):
                 response = self._spatial(request)
             elif isinstance(request, IngestPatch):
@@ -975,6 +1219,9 @@ class ClusterRouter:
         - ``cluster.failovers`` / ``cluster.restarts`` /
           ``cluster.timeouts`` / ``cluster.rebalances`` /
           ``cluster.shards`` / ``cluster.journal.entries``;
+        - ``cluster.rpc.inflight`` (router-wide concurrent shard calls)
+          / ``cluster.read.replica_hits`` / ``cluster.read.replica_lag``
+          / ``cluster.read.coalesced`` — the pipelined read path;
         - ``cluster.shard.latency.<kind>`` — per-shard histograms merged
           by :meth:`collect_shard_metrics`, and
           ``cluster.shard.requests.<kind>.<status>`` summed across
@@ -987,6 +1234,11 @@ class ClusterRouter:
         registry.register(f"{prefix}.rebalances", self.rebalances)
         registry.register(f"{prefix}.shards", self.shards_gauge)
         registry.register(f"{prefix}.journal.entries", self.journal_gauge)
+        registry.register(f"{prefix}.rpc.inflight", self.rpc_inflight)
+        registry.register(f"{prefix}.read.replica_hits",
+                          self.replica_hits)
+        registry.register(f"{prefix}.read.replica_lag", self.replica_lag)
+        registry.register(f"{prefix}.read.coalesced", self.read_coalesced)
 
         def collect() -> Dict[str, object]:
             out: Dict[str, object] = {}
@@ -1011,4 +1263,8 @@ class ClusterRouter:
             "restarts": self.restarts.value,
             "timeouts": self.timeouts.value,
             "rebalances": self.rebalances.value,
+            "replica_hits": self.replica_hits.value,
+            "replica_lag": self.replica_lag.value,
+            "coalesced": self.read_coalesced.value,
+            "inflight_peak": self._inflight_peak,
         }

@@ -20,6 +20,18 @@ timed out on a slow shard and moved on can recognise and discard the
 late reply instead of mis-attributing it to the next request — without
 that, one slow reply would desynchronise the connection forever.
 
+Two connection disciplines share the wire format:
+
+- :class:`RpcConnection` — lockstep, one request in flight (kept for
+  tools and tests that want the simplest possible client);
+- :class:`PipelinedConnection` — many requests in flight on one socket.
+  Senders serialize on a send lock; a dedicated reader thread matches
+  every reply to its waiting caller by the echoed id. A caller that
+  times out abandons its id, so the late reply is dropped by the reader
+  (``late_discards``) without desynchronising anyone else, and replies
+  may legally arrive out of order (the shard side answers ``serve`` ops
+  as its worker pool finishes them).
+
 Failure taxonomy (what the router's failover logic keys on):
 
 - :class:`ShardTimeout` — the reply did not arrive inside the call
@@ -38,7 +50,8 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
-from typing import Any, Optional, Tuple
+import threading
+from typing import Any, Dict, Optional, Tuple
 
 from repro.serve.api import Response, Status
 
@@ -166,38 +179,195 @@ class RpcConnection:
             pass
 
 
-def serve_connection(sock: socket.socket, dispatch) -> None:
+class _Waiter:
+    """One caller's slot in the pipelined in-flight table."""
+
+    __slots__ = ("done", "body", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.body: Any = None
+        self.error: Optional[Exception] = None
+
+
+class PipelinedConnection:
+    """The router's end of one shard socket: many requests in flight.
+
+    Any number of threads may :meth:`call` concurrently. Each call takes
+    a fresh request id, registers a waiter, and sends under the send
+    lock; the reader thread delivers every reply to its waiter by the
+    echoed id. The failure taxonomy is unchanged from the lockstep
+    connection:
+
+    - a call that sees no reply inside its own deadline raises
+      :class:`ShardTimeout` and *abandons* its id — when the reply
+      eventually lands, the reader finds no waiter and discards it
+      (counted in ``late_discards``), so one slow request never
+      desynchronises the stream;
+    - EOF/reset kills the reader, which fails **all** in-flight waiters
+      with :class:`ShardDead` at once — the kill-mid-pipeline case: the
+      router's failover logic runs for each of them;
+    - ``("err", …)`` replies raise :class:`RpcError` in their caller
+      only.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._waiters: Dict[int, _Waiter] = {}
+        self._next_id = 1
+        self._dead: Optional[Exception] = None
+        self.late_discards = 0
+        self._reader = threading.Thread(target=self._read_loop,
+                                        name="rpc-reader", daemon=True)
+        self._reader.start()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently awaiting a reply."""
+        with self._lock:
+            return len(self._waiters)
+
+    def call(self, op: str, payload: Any = None,
+             timeout_s: Optional[float] = None) -> Any:
+        waiter = _Waiter()
+        with self._lock:
+            if self._dead is not None:
+                raise ShardDead(str(self._dead))
+            request_id = self._next_id
+            self._next_id += 1
+            self._waiters[request_id] = waiter
+        try:
+            with self._send_lock:
+                send_frame(self._sock, request_id, (op, payload))
+        except ShardDead:
+            with self._lock:
+                self._waiters.pop(request_id, None)
+            raise
+        if not waiter.done.wait(timeout_s):
+            # Abandon the slot; the reader drops the late reply by id.
+            with self._lock:
+                self._waiters.pop(request_id, None)
+            raise ShardTimeout(f"no reply to {op!r} within {timeout_s}s")
+        if waiter.error is not None:
+            raise waiter.error
+        status, result = waiter.body
+        if status == "err":
+            raise RpcError(str(result))
+        return result
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                reply_id, body = recv_frame(self._sock)
+            except Exception as exc:
+                dead = exc if isinstance(exc, ShardDead) \
+                    else ShardDead(f"reader failed: {exc}")
+                with self._lock:
+                    if self._dead is None:
+                        self._dead = dead
+                    waiters = list(self._waiters.values())
+                    self._waiters.clear()
+                for waiter in waiters:
+                    waiter.error = ShardDead(str(dead))
+                    waiter.done.set()
+                return
+            with self._lock:
+                waiter = self._waiters.pop(reply_id, None)
+            if waiter is None:
+                self.late_discards += 1
+                continue
+            waiter.body = body
+            waiter.done.set()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._dead is None:
+                self._dead = ShardDead("connection closed")
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def serve_connection(sock: socket.socket, dispatch,
+                     async_dispatch=None) -> None:
     """Shard-side loop: read frames, dispatch, reply until EOF.
 
     ``dispatch(op, payload)`` returns the result or raises; exceptions
     are shipped back as ``("err", message)`` so a handler bug never
     kills the shard loop. A dispatch that calls ``os._exit`` (the
     injected-crash fault) simply never replies.
+
+    ``async_dispatch(op, payload)``, when given, may return a ``Future``
+    instead of a result — the reply is sent from the future's callback
+    when it resolves, while this loop keeps reading. That is the
+    shard-side half of RPC pipelining: ``serve`` ops overlap in the
+    worker pool and are answered out of order; replies from callbacks
+    and from this loop serialize on one send lock. An ``async_dispatch``
+    returning ``None`` falls back to the synchronous path.
     """
     sock.settimeout(None)
+    send_lock = threading.Lock()
+
+    def send_result(request_id: int, result: Any) -> bool:
+        try:
+            with send_lock:
+                if isinstance(result, Response) \
+                        and result.status is Status.OK \
+                        and isinstance(result.payload,
+                                       (bytes, bytearray, memoryview)):
+                    send_raw_response(sock, request_id, result)
+                else:
+                    send_frame(sock, request_id, ("ok", result))
+            return True
+        except (ShardDead, OSError):
+            return False
+
+    def send_error(request_id: int, exc: BaseException) -> bool:
+        try:
+            with send_lock:
+                send_frame(sock, request_id,
+                           ("err", f"{type(exc).__name__}: {exc}"))
+            return True
+        except (ShardDead, OSError):
+            return False
+
     while True:
         try:
             request_id, (op, payload) = recv_frame(sock)
         except (ShardDead, ShardTimeout):
             return
         if op == "shutdown":
-            send_frame(sock, request_id, ("ok", None))
+            try:
+                with send_lock:
+                    send_frame(sock, request_id, ("ok", None))
+            except ShardDead:
+                pass
             return
+        if async_dispatch is not None:
+            try:
+                future = async_dispatch(op, payload)
+            except Exception as exc:
+                if not send_error(request_id, exc):
+                    return
+                continue
+            if future is not None:
+                def _finish(fut, request_id=request_id):
+                    exc = fut.exception()
+                    if exc is not None:
+                        send_error(request_id, exc)
+                    else:
+                        send_result(request_id, fut.result())
+                future.add_done_callback(_finish)
+                continue
         try:
             result = dispatch(op, payload)
         except Exception as exc:  # ship the failure, keep serving
-            try:
-                send_frame(sock, request_id,
-                           ("err", f"{type(exc).__name__}: {exc}"))
-            except ShardDead:
+            if not send_error(request_id, exc):
                 return
             continue
-        try:
-            if isinstance(result, Response) and result.status is Status.OK \
-                    and isinstance(result.payload,
-                                   (bytes, bytearray, memoryview)):
-                send_raw_response(sock, request_id, result)
-            else:
-                send_frame(sock, request_id, ("ok", result))
-        except ShardDead:
+        if not send_result(request_id, result):
             return

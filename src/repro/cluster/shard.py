@@ -115,6 +115,23 @@ class ShardBackend:
             delay = self._slow_delay_s
         time.sleep(delay)
 
+    def dispatch_async(self, op: str, payload: Any):
+        """Pipelined dispatch: ``serve`` ops return a ``Future`` resolved
+        by the worker pool, so the connection loop keeps reading while
+        slow handlers run — requests overlap inside one shard and
+        replies go out as each finishes. Every other op (rare, cheap, or
+        intentionally order-sensitive) returns ``None`` and takes the
+        synchronous path in the loop thread.
+        """
+        if op != "serve":
+            return None
+        # An armed slow fault sleeps *here*, in the connection loop —
+        # stalling the whole stream like a wedged shard, which is what
+        # the timeout -> failover chaos path expects to observe.
+        self._maybe_slow()
+        assert isinstance(payload, Request)
+        return self.service.submit(payload)
+
     def dispatch(self, op: str, payload: Any) -> Any:
         self._maybe_slow()
         if op == "serve":
@@ -180,7 +197,7 @@ def shard_main(config: ShardConfig, sock) -> None:
     _post_fork_sanitize()
     backend = ShardBackend(config).start()
     try:
-        serve_connection(sock, backend.dispatch)
+        serve_connection(sock, backend.dispatch, backend.dispatch_async)
     finally:
         backend.stop()
         try:

@@ -43,7 +43,10 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.tiles import TileId
 from repro.errors import PackError
+from repro.obs.log import get_logger
 from repro.obs.metrics import Counter, Gauge
+
+_log = get_logger("pack.format")
 
 PACK_MAGIC = b"HDPK"
 PACK_VERSION = 1
@@ -183,8 +186,17 @@ class PackReader:
     continental pack stays O(directory).
     """
 
-    def __init__(self, path: str, verify: bool = False) -> None:
+    def __init__(self, path: str, verify: bool = False,
+                 garbage_warn_ratio: float = 0.5) -> None:
+        if garbage_warn_ratio < 0.0:
+            raise PackError("garbage_warn_ratio must be >= 0")
         self.path = str(path)
+        #: one-shot ``pack_garbage_large`` warning threshold: dead bytes
+        #: as a fraction of the file (``0`` disables the check). The
+        #: counterpart of the router's ``journal_large`` guard — a pack
+        #: past this ratio is overdue for :func:`compact_pack`.
+        self.garbage_warn_ratio = garbage_warn_ratio
+        self._garbage_warned = False
         self._fh = open(self.path, "rb")
         try:
             size = os.fstat(self._fh.fileno()).st_size
@@ -206,6 +218,7 @@ class PackReader:
         self.bytes_served = Counter()
         self.decodes = Counter()
         self.checksum_failures = Counter()
+        self._maybe_warn_garbage()
         if verify:
             bad = self.verify_all()
             if bad:
@@ -324,6 +337,21 @@ class PackReader:
     def total_elements(self) -> int:
         """Sum of directory element counts (no payload decode)."""
         return sum(e.n_elements for e in self._entries.values())
+
+    def _maybe_warn_garbage(self) -> None:
+        """One ``pack_garbage_large`` warning when dead bytes cross the
+        ``garbage_warn_ratio`` of the file (mirrors ``journal_large``)."""
+        if self.garbage_warn_ratio <= 0.0 or self._garbage_warned:
+            return
+        garbage = self.garbage_bytes
+        if garbage < self.garbage_warn_ratio * self._file_size:
+            return
+        self._garbage_warned = True
+        _log.warning(
+            "pack_garbage_large", path=self.path,
+            garbage_bytes=garbage, file_bytes=self._file_size,
+            ratio=round(garbage / self._file_size, 3),
+            threshold=self.garbage_warn_ratio)
 
     def register_into(self, registry, prefix: str = "pack") -> None:
         """Register ``pack.*`` metrics: serving counters plus file-shape

@@ -10,6 +10,11 @@ Recency is tracked with a per-tile logical timestamp written on the read
 path. A CPython dict store of an int is atomic under the GIL, so hits can
 refresh recency without upgrading to the write lock; eviction (under the
 write lock) removes the least-recently-touched tile.
+
+Encoded-payload builds are single-flight: concurrent requests for the
+same ``(tile, version)`` collapse onto one encoder invocation — followers
+wait on the builder's result instead of serializing the tile N times
+(the ``coalesced`` counter says how often that saved an encode).
 """
 
 from __future__ import annotations
@@ -69,8 +74,26 @@ class RWLock:
                 self._cond.notify_all()
 
 
+#: Sentinel distinguishing "builder has not published yet / failed" from
+#: a legitimate ``None`` result (absent tile).
+_PENDING = object()
+
+
+class _EncodeFlight:
+    """One in-progress encode; followers wait on ``done`` and share
+    ``result``. ``_PENDING`` after ``done`` means the builder raised —
+    waiters take another lap and one of them becomes the new builder."""
+
+    __slots__ = ("done", "result")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result = _PENDING
+
+
 class _Shard:
-    __slots__ = ("lock", "items", "recency", "encoded", "revalidate")
+    __slots__ = ("lock", "items", "recency", "encoded", "revalidate",
+                 "building")
 
     def __init__(self) -> None:
         self.lock = RWLock()
@@ -82,6 +105,9 @@ class _Shard:
         # Tiles that served a stale payload and owe the next reader a
         # fresh re-encode (the "revalidate" half of stale-while-revalidate).
         self.revalidate: Set[TileId] = set()
+        # Single-flight: (tile, version) -> the in-progress encode that
+        # concurrent requesters wait on instead of duplicating the build.
+        self.building: Dict[Tuple[TileId, int], _EncodeFlight] = {}
 
 
 class ShardedTileCache:
@@ -101,6 +127,7 @@ class ShardedTileCache:
         self.serialization_hits = Counter()
         self.serialization_builds = Counter()
         self.serialization_stale_hits = Counter()
+        self.coalesced = Counter()
 
     def _shard_for(self, tile: TileId) -> _Shard:
         return self._shards[hash((tile.tx, tile.ty)) % len(self._shards)]
@@ -150,9 +177,11 @@ class ShardedTileCache:
 
         A hit returns the cached blob under the shared lock without touching
         the encoder. On a miss the decoded tile is fetched through
-        :meth:`get` and encoded *outside* every lock (two concurrent misses
-        may both encode; the second install is discarded). Returns None for
-        tiles the loader does not have.
+        :meth:`get` and encoded *outside* every lock. Concurrent misses on
+        the same ``(tile, version)`` are **single-flight**: one caller
+        builds, the rest wait on its result (counted in ``coalesced``), so
+        a hot tile is never encoded twice at once. Returns None for tiles
+        the loader does not have.
         """
         return self.get_encoded_swr(tile, version, encoder, 0)[0]
 
@@ -203,31 +232,66 @@ class ShardedTileCache:
                      max_staleness: int = 0) -> Tuple[Optional[bytes], int]:
         shard = self._shard_for(tile)
         key = (tile, version)
-        with shard.lock.read():
-            payload = shard.encoded.get(key)
-            if payload is not None:
-                self.serialization_hits.add()
-                return payload, 0
-            if max_staleness > 0 and tile not in shard.revalidate:
-                stale, staleness = self._find_stale(shard, tile, version,
-                                                    max_staleness)
-            else:
-                stale, staleness = None, 0
-        if stale is not None:
+        while True:
+            with shard.lock.read():
+                payload = shard.encoded.get(key)
+                if payload is not None:
+                    self.serialization_hits.add()
+                    return payload, 0
+                if max_staleness > 0 and tile not in shard.revalidate:
+                    stale, staleness = self._find_stale(shard, tile, version,
+                                                        max_staleness)
+                else:
+                    stale, staleness = None, 0
+            if stale is not None:
+                with shard.lock.write():
+                    shard.revalidate.add(tile)
+                self.serialization_stale_hits.add()
+                return stale, staleness
+            # Single-flight: claim the builder slot for this
+            # (tile, version), or wait on whoever already holds it.
             with shard.lock.write():
-                shard.revalidate.add(tile)
-            self.serialization_stale_hits.add()
-            return stale, staleness
+                payload = shard.encoded.get(key)
+                if payload is not None:
+                    self.serialization_hits.add()
+                    return payload, 0
+                flight = shard.building.get(key)
+                builder = flight is None
+                if builder:
+                    flight = _EncodeFlight()
+                    shard.building[key] = flight
+            if not builder:
+                flight.done.wait()
+                if flight.result is not _PENDING:
+                    self.coalesced.add()
+                    return flight.result, 0
+                continue  # the builder raised; take another lap
+            try:
+                payload = self._build_encoded(shard, tile, key, encoder)
+                flight.result = payload
+                return payload, 0
+            finally:
+                with shard.lock.write():
+                    shard.building.pop(key, None)
+                flight.done.set()
+
+    def _build_encoded(self, shard: _Shard, tile: TileId,
+                       key: Tuple[TileId, int],
+                       encoder: Callable[[HDMap], bytes]
+                       ) -> Optional[bytes]:
+        """The single-flight builder's leg: load, encode (outside every
+        lock), install. Returns None for tiles the loader lacks."""
         decoded = self.get(tile)
         if decoded is None:
-            return None, 0
+            return None
         payload = encoder(decoded)
         self.serialization_builds.add()
+        version = key[1]
         with shard.lock.write():
             existing = shard.encoded.get(key)
             if existing is not None:
                 shard.revalidate.discard(tile)
-                return existing, 0
+                return existing
             shard.encoded[key] = payload
             # A fresh build supersedes every older version of this tile.
             for old in [k for k in shard.encoded
@@ -238,7 +302,7 @@ class ShardedTileCache:
             # order, so the oldest entry (stalest version first) goes.
             while len(shard.encoded) > self.tiles_per_shard:
                 shard.encoded.pop(next(iter(shard.encoded)))
-        return payload, 0
+        return payload
 
     def invalidate_encoded(self,
                            tiles: Optional[List[TileId]] = None) -> None:
@@ -299,4 +363,5 @@ class ShardedTileCache:
             "serialization_hits": self.serialization_hits.value,
             "serialization_builds": self.serialization_builds.value,
             "serialization_stale_hits": self.serialization_stale_hits.value,
+            "coalesced": self.coalesced.value,
         }

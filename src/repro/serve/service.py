@@ -38,7 +38,7 @@ from repro.core.hdmap import HDMap
 from repro.core.tiles import TileId
 from repro.errors import HDMapError
 from repro.obs.log import get_logger
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.obs.trace import TRACER
 from repro.serve.admission import AdmissionController, AdmissionPolicy
 from repro.serve.api import (
@@ -107,8 +107,13 @@ class MapService:
                                       tiles_per_shard)
         self.metrics = ServiceMetrics()
         self.metrics.attach_cache(self.cache)
+        #: tiles a SpatialQuery actually visited (present in the store);
+        #: absent covered tiles are short-circuited before the cache.
+        self.spatial_tiles_scanned = Counter()
         if registry is not None:
             self.metrics.register_into(registry)
+            registry.register("serve.spatial.tiles_scanned",
+                              self.spatial_tiles_scanned)
             if store.pack_backed:
                 store.pack_reader.register_into(registry)
         # Encoded payloads are keyed by served version; a published patch
@@ -276,6 +281,12 @@ class MapService:
         out: list = []
         seen: Set[object] = set()
         for tile in self.store.scheme.tiles_for_bounds(bounds):
+            # Short-circuit tiles absent from the store: a radius query
+            # over sparse geography would otherwise fault every covered
+            # tile into the cache just to learn it holds nothing.
+            if not self.store.contains(tile):
+                continue
+            self.spatial_tiles_scanned.add()
             shard = self.cache.get(tile)
             if shard is None:
                 continue

@@ -232,6 +232,17 @@ class TileStore:
             return False
         return self._pack.entry(tile) is not None
 
+    def contains(self, tile: TileId) -> bool:
+        """Whether ``tile`` has a blob, without decoding anything.
+
+        O(1) either way (dict membership or pack index probe) — the
+        serve layer uses this to short-circuit absent tiles before the
+        cache materializes them.
+        """
+        if self._pack is not None:
+            return self._has_tile(tile)
+        return tile in self._blobs
+
     def encoded_view(self, tile: TileId) -> Optional[memoryview]:
         """Zero-copy encoded payload for ``tile``.
 

@@ -1,6 +1,7 @@
 """repro.cluster: hashing, RPC picklability, routing, failover, chaos."""
 
 import pickle
+import socket
 import threading
 
 import numpy as np
@@ -14,6 +15,13 @@ from repro.chaos import (
     FaultSpec,
 )
 from repro.cluster import ClusterMapClient, ClusterRouter
+from repro.cluster.rpc import (
+    PipelinedConnection,
+    ShardDead,
+    ShardTimeout,
+    recv_frame,
+    send_frame,
+)
 from repro.core import MapPatch, SignType, TrafficSign
 from repro.core.tiles import TileId, consistent_hash_owner, ownership_map
 from repro.errors import ClusterError
@@ -322,6 +330,203 @@ class TestClusterChaosHarness:
         assert report.fired[CLUSTER_SHARD_CRASH] == 2
         assert report.certify(), report.violations()
         assert report.stats["restarts"] >= 1
+
+
+class TestPipelinedConnection:
+    """Wire-level pipelining: many calls in flight on one socket.
+
+    The peer side is driven by the test itself with the raw frame
+    helpers, so reply timing and ordering are fully deterministic.
+    """
+
+    def _pair(self):
+        left, right = socket.socketpair()
+        return PipelinedConnection(left), right
+
+    def test_concurrent_calls_matched_out_of_order(self):
+        conn, peer = self._pair()
+        try:
+            n = 5
+            results = [None] * n
+
+            def caller(slot):
+                results[slot] = conn.call("echo", slot, timeout_s=5.0)
+
+            threads = [threading.Thread(target=caller, args=(s,))
+                       for s in range(n)]
+            for t in threads:
+                t.start()
+            # drain all n requests before answering any: every caller is
+            # now simultaneously in flight on the one connection
+            pending = [recv_frame(peer) for _ in range(n)]
+            assert conn.inflight == n
+            # answer newest-first: replies must match by echoed id, not
+            # by arrival order
+            for request_id, (op, payload) in reversed(pending):
+                assert op == "echo"
+                send_frame(peer, request_id, ("ok", payload * 10))
+            for t in threads:
+                t.join()
+            assert results == [slot * 10 for slot in range(n)]
+            assert conn.inflight == 0
+            assert conn.late_discards == 0
+        finally:
+            conn.close()
+            peer.close()
+
+    def test_late_reply_discarded_without_desync(self):
+        # Satellite: a timed-out request's reply arriving while later
+        # traffic flows must be dropped by id, not shift the stream.
+        conn, peer = self._pair()
+        try:
+            timed_out = []
+
+            def slow_caller():
+                try:
+                    conn.call("slow", None, timeout_s=0.05)
+                except ShardTimeout:
+                    timed_out.append(True)
+
+            t = threading.Thread(target=slow_caller)
+            t.start()
+            slow_id, (op, _) = recv_frame(peer)
+            assert op == "slow"
+            t.join()
+            assert timed_out, "call should have timed out"
+
+            # the abandoned reply lands *before* the next call's reply
+            send_frame(peer, slow_id, ("ok", "too late"))
+
+            fast_result = []
+            ft = threading.Thread(
+                target=lambda: fast_result.append(
+                    conn.call("fast", 7, timeout_s=5.0)))
+            ft.start()
+            fast_id, (op, payload) = recv_frame(peer)
+            assert op == "fast"
+            send_frame(peer, fast_id, ("ok", payload + 1))
+            ft.join()
+            # FIFO socket: the reader consumed the late frame first, so
+            # a correct fast result proves the stream did not desync
+            assert fast_result == [8]
+            assert conn.late_discards == 1
+            assert conn.inflight == 0
+        finally:
+            conn.close()
+            peer.close()
+
+    def test_peer_death_fails_every_inflight_call(self):
+        conn, peer = self._pair()
+        outcomes = []
+
+        def caller():
+            try:
+                conn.call("hang", timeout_s=5.0)
+                outcomes.append("ok")
+            except ShardDead:
+                outcomes.append("dead")
+
+        threads = [threading.Thread(target=caller) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for _ in range(3):
+            recv_frame(peer)
+        peer.close()  # EOF with three calls outstanding
+        for t in threads:
+            t.join()
+        assert outcomes == ["dead", "dead", "dead"]
+        with pytest.raises(ShardDead):
+            conn.call("more")
+        conn.close()
+
+
+class TestReplicaReads:
+    def test_round_robin_reads_hit_replicas(self, city):
+        store = TileStore.build(city, 120.0)
+        with _local_router(city, replicas=1) as router:
+            tile = store.tiles()[0]
+            for _ in range(6):
+                response = router.request(GetTile(tile=tile, encoded=True))
+                assert response.ok
+                assert response.payload == store._blobs[tile]
+            assert router.replica_hits.value >= 1
+            # primary healthy throughout: replica reads are scaling,
+            # not failover
+            assert router.failovers.value == 0
+            assert router.replica_lag.value == 0
+
+    def test_replica_behind_version_floor_is_skipped(self, city):
+        with _local_router(city, replicas=1) as router:
+            tile = next(t for t in router.tiles()
+                        if router.owner_of_tile(t) == 0)
+            handle = router._handles[0]
+            # pretend the router has observed a version this shard's
+            # replica has not reached: every replica pick must be
+            # rejected by the floor and retried on the primary
+            with handle.vlock:
+                handle.last_version += 5
+            for _ in range(6):
+                response = router.request(GetTile(tile=tile, encoded=True))
+                assert response.ok
+            assert router.replica_lag.value >= 1
+            assert router.replica_hits.value == 0
+
+    def test_write_then_read_never_goes_backwards(self, city):
+        with _local_router(city, replicas=1) as router:
+            floor = 0
+            for i in range(8):
+                _, patch = _sign_patch(city, (10.0 + 25 * i, 20.0))
+                ack = router.request(IngestPatch(patch=patch))
+                assert ack.ok
+                floor = max(floor, ack.version)
+                read = router.request(
+                    ChangesSince(since_version=0))
+                assert read.ok
+                assert read.version >= floor
+
+
+class TestGetTileCoalescing:
+    def test_concurrent_identical_reads_coalesce_byte_identical(self, city):
+        store = TileStore.build(city, 120.0)
+        # service latency keeps the leader in flight long enough for
+        # the burst to pile onto its flight entry
+        with _local_router(city, service_latency_s=0.05) as router:
+            tile = store.tiles()[0]
+            n = 6
+            payloads = [None] * n
+            start = threading.Barrier(n)
+
+            def one(slot):
+                start.wait()
+                response = router.request(GetTile(tile=tile, encoded=True))
+                if response.ok:
+                    payloads[slot] = response.payload
+
+            threads = [threading.Thread(target=one, args=(s,))
+                       for s in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            want = store._blobs[tile]
+            assert all(p == want for p in payloads)
+            assert router.read_coalesced.value >= 1
+
+    def test_legacy_lockstep_router_never_coalesces(self, city):
+        store = TileStore.build(city, 120.0)
+        with _local_router(city, pipeline=False,
+                           service_latency_s=0.02) as router:
+            tile = store.tiles()[0]
+            threads = [threading.Thread(
+                target=lambda: router.request(
+                    GetTile(tile=tile, encoded=True)))
+                for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert router.read_coalesced.value == 0
+            assert router.replica_hits.value == 0
 
 
 class TestProcessTransport:

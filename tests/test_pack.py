@@ -119,6 +119,45 @@ class TestPackFormat:
             assert reader.entry(tile).version == 2
             assert reader.garbage_bytes >= len(blob)
 
+    def test_garbage_ratio_warns_once_at_open(self, city_store, tmp_path):
+        from repro.obs.log import EVENT_LOG
+
+        path = str(tmp_path / "g.pack")
+        tile = city_store.tiles()[0]
+        blob = city_store._blobs[tile]
+        write_pack(path, [(tile, blob)], tile_size=250.0)
+        for version in (2, 3, 4):  # three superseded copies: mostly garbage
+            with PackWriter(path) as writer:
+                writer.add(tile, blob, version=version)
+                writer.publish()
+
+        def warnings():
+            return [e for e in EVENT_LOG.events()
+                    if e.get("event") == "pack_garbage_large"]
+
+        EVENT_LOG.clear()
+        with PackReader(path) as reader:
+            assert reader.garbage_bytes >= 3 * len(blob)
+            assert len(warnings()) == 1  # warned at open, not per access
+            bytes(reader.get(tile))
+            assert len(warnings()) == 1
+            event = warnings()[0]
+            assert event["garbage_bytes"] >= 3 * len(blob)
+            assert event["ratio"] >= event["threshold"]
+
+        EVENT_LOG.clear()
+        with PackReader(path, garbage_warn_ratio=0):
+            assert warnings() == []  # ratio 0 disables the check
+
+        EVENT_LOG.clear()
+        fresh = str(tmp_path / "fresh.pack")
+        write_pack(fresh, [(tile, blob)], tile_size=250.0)
+        with PackReader(fresh):
+            assert warnings() == []  # garbage-free pack stays quiet
+
+        with pytest.raises(PackError):
+            PackReader(path, garbage_warn_ratio=-0.1)
+
     def test_compaction_byte_identity(self, city_store, pack_path, tmp_path):
         tile = city_store.tiles()[0]
         with PackWriter(pack_path) as writer:  # supersede one tile

@@ -270,6 +270,48 @@ class TestShardedTileCache:
         assert cache.get_encoded(tile, 2, lambda m: b"v2") == b"v2"
         assert cache.serialization_builds.value == 2
 
+    def test_concurrent_encodes_collapse_to_one_build(self, city):
+        import time
+
+        from repro.storage.binary import encode_map
+
+        store = TileStore.build(city, tile_size=150.0)
+        cache = ShardedTileCache(store.load_tile, n_shards=2,
+                                 tiles_per_shard=8)
+        tile = store.tiles()[0]
+        builds = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def encoder(hdmap):
+            builds.append(tile)
+            entered.set()
+            assert release.wait(timeout=5.0)
+            return encode_map(hdmap)
+
+        n = 6
+        payloads = [None] * n
+
+        def one(slot):
+            payloads[slot] = cache.get_encoded(tile, 1, encoder)
+
+        threads = [threading.Thread(target=one, args=(s,))
+                   for s in range(n)]
+        threads[0].start()
+        assert entered.wait(timeout=5.0)  # the leader is inside the encoder
+        for t in threads[1:]:
+            t.start()
+        time.sleep(0.3)  # followers park on the in-flight build
+        release.set()
+        for t in threads:
+            t.join()
+        want = encode_map(store.load_tile(tile))
+        assert payloads == [want] * n
+        assert len(builds) == 1
+        assert cache.serialization_builds.value == 1
+        assert cache.coalesced.value == n - 1
+        assert cache.as_dict()["coalesced"] == n - 1
+
     def test_rwlock_excludes_writers(self):
         lock = RWLock()
         log = []
@@ -327,6 +369,29 @@ class TestMapService:
                 assert {e.id for e in lm.payload} == \
                     {e.id for e in
                      streaming.landmarks_in_radius(*point, 60.0)}
+
+    def test_spatial_short_circuits_absent_tiles(self, city):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        service, store, _ = _world_service(city, registry=registry)
+        with service:
+            # a radius around the map corner covers tiles outside the
+            # built world; those must not be faulted into the cache
+            min_x, min_y, _, _ = city.bounds()
+            radius = 400.0
+            resp = service.request(SpatialQuery(min_x, min_y, radius))
+            assert resp.ok
+            covered = list(store.scheme.tiles_for_bounds(
+                (min_x - radius, min_y - radius,
+                 min_x + radius, min_y + radius)))
+            present = [t for t in covered if store.contains(t)]
+            absent = [t for t in covered if not store.contains(t)]
+            assert absent, "query should cover tiles outside the world"
+            assert service.spatial_tiles_scanned.value == len(present)
+            assert set(service.cache.resident_tiles()).isdisjoint(absent)
+            assert registry.snapshot()["serve.spatial.tiles_scanned"] == \
+                len(present)
 
     def test_ingest_then_changes_since(self, city):
         service, _, server = _world_service(city)

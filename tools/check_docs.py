@@ -98,18 +98,21 @@ def _metric_universe() -> Set[str]:
         service.request(GetTile(store.tiles()[0]))
     names |= set(extra.snapshot())
 
-    # cluster.* names come from a tiny in-process cluster: one read and
-    # one write mint the per-kind router metrics, one metrics poll mints
-    # the merged per-shard names.
+    # cluster.* names come from a tiny in-process cluster: replicated
+    # reads mint the concurrent-read-path metrics (replica hits, lag,
+    # coalescing, inflight), one write mints the per-kind router
+    # metrics, one metrics poll mints the merged per-shard names.
     from repro.cluster import ClusterRouter
     from repro.core import MapPatch, SignType, TrafficSign
     from repro.serve import IngestPatch
 
     cluster_registry = MetricsRegistry()
     router = ClusterRouter(city, n_shards=2, tile_size=250.0,
-                           transport="local", registry=cluster_registry)
+                           transport="local", replicas=1,
+                           registry=cluster_registry)
     try:
-        router.request(GetTile(router.tiles()[0]))
+        for _ in range(4):  # round-robin across primary + replica
+            router.request(GetTile(router.tiles()[0]))
         import numpy as np
         patch = MapPatch(source="docs-check", confidence=0.9)
         patch.add(TrafficSign(id=city.new_id("docs-check-sign"),
