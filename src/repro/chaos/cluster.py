@@ -72,12 +72,15 @@ from repro.core.elements import SignType, TrafficSign
 from repro.core.hdmap import HDMap
 from repro.core.ids import ElementId
 from repro.core.versioning import MapPatch
-from repro.obs.log import EVENT_LOG
+from repro.obs.log import EVENT_LOG, get_logger
+from repro.obs.trace import TRACER, configure_tracing
 from repro.serve.api import GetTile, IngestPatch
 from repro.serve.service import MapService
 from repro.storage.binary import encode_map
 from repro.storage.tilestore import TileStore
 from repro.update.distribution import ConflictPolicy, MapDistributionServer
+
+_log = get_logger("chaos.cluster")
 
 
 def canonical_map_bytes(hdmap: HDMap) -> bytes:
@@ -109,6 +112,12 @@ class ClusterWorkload:
     call_timeout_s: float = 1.5
     lease_s: float = 1.0
     seed: int = 7
+    #: > 0 turns on the telemetry plane for the run: each op becomes a
+    #: sampled-at-this-rate ``chaos.op`` trace, fault injections are
+    #: logged as trace-correlated ``fault_injected`` events, and the
+    #: report counts the *poisoned traces* — trace ids that had a fault
+    #: land inside them.
+    trace_sample_rate: float = 0.0
 
 
 class ClusterChaosHarness:
@@ -167,16 +176,24 @@ class ClusterChaosHarness:
         """Drive the faulted stream and certify the four invariants."""
         EVENT_LOG.clear()
         w = self.workload
+        tracing = w.trace_sample_rate > 0
+        if tracing:
+            configure_tracing(enabled=True,
+                              sample_rate=w.trace_sample_rate)
         t_start = time.perf_counter()
         # pipeline/replica_reads explicitly on: the invariants are
         # certified against the concurrent read path (kill-mid-pipeline,
         # replica-served reads under the version floor), not the legacy
-        # lockstep baseline.
+        # lockstep baseline. With tracing on, the telemetry harvester
+        # pulls shard rings in the background so shard-side
+        # fault_injected events (the slow fault fires inside the shard
+        # process) land in the merged log before the report is built.
         router = ClusterRouter(
             self.hdmap, n_shards=w.n_shards, tile_size=w.tile_size,
             replicas=w.replicas, transport=w.transport,
             call_timeout_s=w.call_timeout_s, lease_s=w.lease_s,
-            pipeline=True, replica_reads=True)
+            pipeline=True, replica_reads=True,
+            telemetry_interval_s=0.5 if tracing else None)
         try:
             crash = self.plan.point(CLUSTER_SHARD_CRASH)
             slow = self.plan.point(CLUSTER_SLOW_SHARD)
@@ -187,16 +204,41 @@ class ClusterChaosHarness:
             failed_writes = 0
             versions_seen: List[int] = []
             for i, patch in enumerate(self._build_patches()):
-                if crash.roll("router"):
-                    router.kill_shard(i % router.n_shards)
-                if slow.roll("router"):
-                    router.slow_shard(
-                        i % router.n_shards,
-                        delay_s=slow.magnitude or w.call_timeout_s * 2,
-                        count=1)
-                if rebalance.roll("router"):
-                    router.rebalance(router.n_shards + 1)
-                response = router.request(IngestPatch(patch=patch))
+                # Each op is one (sampled) trace: a fault rolled inside
+                # it emits a trace-correlated fault_injected event, so
+                # the report can name exactly which traces a fault
+                # poisoned. With tracing off this is NOOP_SPAN and the
+                # events simply carry no trace id.
+                op_span = TRACER.start_trace("chaos.op", op=i)
+                with op_span:
+                    if crash.roll("router"):
+                        target = i % router.n_shards
+                        _log.warning("fault_injected",
+                                     fault=CLUSTER_SHARD_CRASH,
+                                     shard=target, op=i)
+                        if op_span.context is not None:
+                            op_span.set("fault", CLUSTER_SHARD_CRASH)
+                        router.kill_shard(target)
+                    if slow.roll("router"):
+                        target = i % router.n_shards
+                        _log.warning("fault_injected",
+                                     fault=CLUSTER_SLOW_SHARD,
+                                     shard=target, op=i)
+                        if op_span.context is not None:
+                            op_span.set("fault", CLUSTER_SLOW_SHARD)
+                        router.slow_shard(
+                            target,
+                            delay_s=slow.magnitude
+                            or w.call_timeout_s * 2,
+                            count=1)
+                    if rebalance.roll("router"):
+                        _log.warning("fault_injected",
+                                     fault=CLUSTER_REBALANCE,
+                                     shard=router.n_shards, op=i)
+                        if op_span.context is not None:
+                            op_span.set("fault", CLUSTER_REBALANCE)
+                        router.rebalance(router.n_shards + 1)
+                    response = router.request(IngestPatch(patch=patch))
                 if response.ok:
                     if response.payload.accepted:
                         acked += 1
@@ -239,6 +281,17 @@ class ClusterChaosHarness:
             stats = router.stats()
             stats.update(acked_writes=acked, failed_writes=failed_writes,
                          shard_events=len(router.shard_events()))
+            if tracing:
+                # Final harvest so shard-side fault_injected events (the
+                # slow fault fires inside the shard process, under the
+                # propagated trace) are merged before we count which
+                # traces had a fault land inside them.
+                router.harvest_telemetry()
+                poisoned = {e["trace_id"] for e
+                            in EVENT_LOG.events(event="fault_injected")
+                            if e.get("trace_id")}
+                stats["poisoned_traces"] = len(poisoned)
+                stats["harvested_spans"] = router.telemetry_spans.value
             return ChaosReport(
                 fault_class=label, plan=self.plan.describe(),
                 fired=self.plan.fired_counts(), invariants=invariants,
@@ -249,6 +302,8 @@ class ClusterChaosHarness:
                 elapsed_s=time.perf_counter() - t_start)
         finally:
             router.close()
+            if tracing:
+                configure_tracing(enabled=False)
 
     def final_map_bytes(self) -> bytes:
         """Canonical merged bytes of the last :meth:`run` (parity probe)."""

@@ -74,6 +74,12 @@ class ChaosReport:
         if self.fired:
             fired = ", ".join(f"{k}={v}" for k, v in sorted(self.fired.items()))
             lines.append(f"  fired: {fired}")
+        if self.stats.get("poisoned_traces") is not None:
+            lines.append(
+                f"  telemetry: {self.stats['poisoned_traces']} poisoned "
+                f"trace(s) (fault_injected landed inside them), "
+                f"{self.stats.get('harvested_spans', 0)} harvested "
+                f"span(s)")
         for result in self.invariants:
             lines.append(f"  {result}")
         return "\n".join(lines)

@@ -323,12 +323,36 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_trace(args: argparse.Namespace) -> int:
-    from repro.obs import format_trace, load_spans_jsonl
+    from repro.obs import format_trace, load_spans_jsonl, verify_spans
 
     spans = load_spans_jsonl(args.input)
     by_trace: dict = {}
     for span in spans:
         by_trace.setdefault(span["trace_id"], []).append(span)
+    if getattr(args, "cluster", False):
+        # Cluster mode: keep only traces that actually crossed a process
+        # boundary (a router-side cluster.* span plus a shard-side span
+        # merged by the telemetry harvester), and treat any structural
+        # violation in them as a hard failure — a broken parent chain
+        # here means propagation or merging regressed.
+        def _cross_process(trace_spans: list) -> bool:
+            has_router = any(str(s["name"]).startswith("cluster.")
+                             for s in trace_spans)
+            has_shard = any("role" in (s.get("attrs") or {})
+                            for s in trace_spans)
+            return has_router and has_shard
+
+        by_trace = {tid: ts for tid, ts in by_trace.items()
+                    if _cross_process(ts)}
+        problems = [p for tid, ts in by_trace.items()
+                    for p in verify_spans(ts)]
+        if problems:
+            for problem in problems:
+                print(f"OBS TRACE FAILED: {problem}", file=sys.stderr)
+            return 1
+        if not by_trace:
+            print("(no cross-process cluster traces)", file=sys.stderr)
+            return 1
     if not by_trace:
         print("(no spans)")
         return 0
@@ -439,8 +463,9 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
     workload = ChaosWorkload(vehicles=args.vehicles,
                              routes_per_vehicle=args.routes,
                              route_length_m=args.route, seed=args.seed)
-    cluster_workload = ClusterWorkload(transport=args.shard_transport,
-                                       seed=args.seed)
+    cluster_workload = ClusterWorkload(
+        transport=args.shard_transport, seed=args.seed,
+        trace_sample_rate=args.trace_sample_rate)
     print(f"chaos matrix against {hdmap.name} "
           f"(seed {args.seed}, {args.vehicles} vehicles x {args.routes} "
           f"route(s) x {args.route / 1000:.1f} km)")
@@ -558,8 +583,12 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     requests overlap their simulated service cost). ``--pipeline`` adds
     the read-path suite: replica read scaling vs the legacy lockstep
     baseline, concurrent vs serial scatter-gather, and single-flight
-    GetTile coalescing with byte-parity. ``--check-scaling`` turns the
-    measured ratios into hard gates; every number lands in ``--out``.
+    GetTile coalescing with byte-parity. ``--trace-sample-rate`` adds
+    the telemetry-plane suite: interleaved traced/untraced read rounds
+    bound the sampling overhead, and a guaranteed-sampled request must
+    reconstruct as one merged cross-process span tree after a telemetry
+    harvest. ``--check-scaling`` turns the measured ratios into hard
+    gates; every number lands in ``--out``.
     """
     import json
     import threading
@@ -742,6 +771,108 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
                 failures.append("no requests coalesced during the burst")
         finally:
             router.close()
+
+    # -- telemetry-plane suite: tracing overhead + merged-tree check ----
+    if args.trace_sample_rate is not None:
+        import statistics
+
+        from repro.obs import TRACER, configure_tracing, verify_spans
+
+        n_shards = args.shards[-1]
+        rounds = 3
+        round_requests = max(100, args.requests // 2)
+        print(f"tracing suite: {n_shards} shard(s), sample rate "
+              f"{args.trace_sample_rate:g}, {rounds} interleaved "
+              f"round(s) x {round_requests} requests per mode")
+        configure_tracing(enabled=False, reset=True)
+        router = ClusterRouter(
+            hdmap, n_shards=n_shards, tile_size=args.tile_size,
+            replicas=args.replicas, transport=args.transport,
+            n_workers=args.workers, service_latency_s=latency_s,
+            telemetry_interval_s=0.25)
+        overhead = 0.0
+        try:
+            # Warm every connection and cache path once, then interleave
+            # traced/untraced rounds so drift hits both modes equally.
+            _cluster_read_throughput(router, round_requests, args.clients)
+            elapsed: dict = {"off": [], "on": []}
+            for _ in range(rounds):
+                for mode in ("off", "on"):
+                    if mode == "on":
+                        configure_tracing(
+                            enabled=True,
+                            sample_rate=args.trace_sample_rate)
+                    else:
+                        TRACER.configure(enabled=False)
+                    _, failed, took = _cluster_read_throughput(
+                        router, round_requests, args.clients)
+                    if failed:
+                        failures.append(
+                            f"tracing suite: {failed} error(s) ({mode})")
+                    elapsed[mode].append(took)
+            off_s = statistics.median(elapsed["off"])
+            on_s = statistics.median(elapsed["on"])
+            overhead = on_s / off_s - 1.0 if off_s > 0 else 0.0
+
+            # One guaranteed-sampled GetTile, then a harvest: the merged
+            # recorder must reconstruct the full cross-process chain.
+            configure_tracing(enabled=True, sample_rate=1.0)
+            tile = router.tiles()[0]
+            response = router.request(GetTile(tile=tile, encoded=True))
+            if not response.ok:
+                failures.append(f"tracing suite: {response.error}")
+            TRACER.set_sample_rate(args.trace_sample_rate)
+            router.harvest_telemetry()
+            spans = [s.as_dict() for s in TRACER.recorder.spans()]
+            trace_problems = verify_spans(spans)
+            by_id = {s["span_id"]: s for s in spans}
+
+            def _router_root(span: dict) -> bool:
+                while span.get("parent_id") in by_id:
+                    span = by_id[span["parent_id"]]
+                return str(span["name"]).startswith("cluster.request.") \
+                    and span.get("parent_id") is None
+
+            chained = [
+                s for s in spans
+                if s["name"] == "serve.request.GetTile"
+                and by_id.get(s.get("parent_id"), {}).get("name")
+                == "shard.serve"
+                and _router_root(s)]
+            has_rpc = any(s["name"] == "cluster.rpc.serve" for s in spans)
+            if trace_problems:
+                failures += [f"tracing suite: {p}" for p in trace_problems]
+            if not (chained and has_rpc):
+                failures.append(
+                    "tracing suite: no merged trace chains "
+                    "serve.request.GetTile -> shard.serve -> "
+                    "cluster.rpc.serve -> cluster.request.*")
+            report["gates"]["trace_overhead"] = {
+                "off_s": round(off_s, 4), "on_s": round(on_s, 4),
+                "overhead": round(overhead, 4),
+                "required_max": args.max_trace_overhead,
+                "merged_spans": len(spans),
+                "harvests": router.telemetry_harvests.value,
+                "harvested_spans": router.telemetry_spans.value,
+                "dropped": router.telemetry_dropped.value}
+            print(f"  traced {on_s:.3f}s vs untraced {off_s:.3f}s -> "
+                  f"{100 * overhead:+.1f}% overhead (allowed <= "
+                  f"{100 * args.max_trace_overhead:g}%), "
+                  f"{len(spans)} merged span(s), "
+                  f"{router.telemetry_harvests.value} harvest(s)")
+            if check and overhead > args.max_trace_overhead:
+                failures.append(
+                    f"tracing overhead {100 * overhead:.1f}% above "
+                    f"{100 * args.max_trace_overhead:g}%")
+            if args.trace_sample is not None:
+                with open(args.trace_sample, "w") as fh:
+                    for span in spans:
+                        fh.write(json.dumps(span, sort_keys=True,
+                                            default=str) + "\n")
+                print(f"  merged span dump -> {args.trace_sample}")
+        finally:
+            router.close()
+            configure_tracing(enabled=False, reset=True)
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -1071,6 +1202,10 @@ def build_parser() -> argparse.ArgumentParser:
     obs_trace.add_argument("--trace-id", help="render one specific trace")
     obs_trace.add_argument("--limit", type=int, default=3,
                            help="max traces to render without --trace-id")
+    obs_trace.add_argument("--cluster", action="store_true",
+                           help="show only cross-process cluster traces "
+                                "(router span + harvested shard spans) "
+                                "and fail on any structural violation")
     obs_trace.set_defaults(func=_cmd_obs_trace)
 
     obs_top = obs_sub.add_parser(
@@ -1111,6 +1246,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="freshness-lag invariant bound, seconds")
     chaos.add_argument("--skip-parity", action="store_true",
                        help="skip the faults-disabled byte-parity check")
+    chaos.add_argument("--trace-sample-rate", type=float, default=0.0,
+                       help="shard-class runs: sample each op as a "
+                            "trace at this rate so the report counts "
+                            "traces poisoned by injected faults "
+                            "(0 = off)")
     chaos.set_defaults(func=_cmd_chaos_bench)
 
     cluster = sub.add_parser(
@@ -1154,6 +1294,19 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--min-scatter-speedup", type=float, default=3.0,
                          help="required serial/concurrent scatter-gather "
                               "latency ratio (--pipeline)")
+    cluster.add_argument("--trace-sample-rate", type=float, default=None,
+                         metavar="RATE",
+                         help="run the telemetry-plane suite: measure "
+                              "read latency with tracing off vs sampled "
+                              "at RATE, then harvest and verify one "
+                              "merged cross-process trace")
+    cluster.add_argument("--trace-sample", default=None, metavar="PATH",
+                         help="write the merged (router + harvested "
+                              "shard) span dump as JSONL")
+    cluster.add_argument("--max-trace-overhead", type=float, default=0.05,
+                         help="allowed median-latency overhead of sampled "
+                              "tracing (fraction; gated under "
+                              "--check-scaling)")
     cluster.add_argument("--out", default="CLUSTER_BENCH.json",
                          help="machine-readable report path")
     cluster.set_defaults(func=_cmd_cluster_bench)

@@ -15,6 +15,8 @@ from repro.cluster.router import (
     ClusterRouter,
     LocalShard,
     ProcessShard,
+    TelemetryHarvester,
+    estimate_clock_offset,
 )
 from repro.cluster.rpc import (
     PipelinedConnection,
@@ -38,5 +40,7 @@ __all__ = [
     "ShardConfig",
     "ShardDead",
     "ShardTimeout",
+    "TelemetryHarvester",
+    "estimate_clock_offset",
     "shard_main",
 ]

@@ -53,6 +53,7 @@ restart-replay if it diverges).
 from __future__ import annotations
 
 import multiprocessing
+import random
 import socket
 import threading
 import time
@@ -82,13 +83,14 @@ from repro.core.versioning import (
     ReplaceElement,
 )
 from repro.errors import ClusterError
-from repro.obs.log import get_logger
+from repro.obs.log import EVENT_LOG, get_logger
 from repro.obs.metrics import (
     Counter,
     Gauge,
     LatencyHistogram,
     MetricsRegistry,
 )
+from repro.obs.trace import TRACER, attach_context
 from repro.serve.api import (
     ChangesSince,
     GetTile,
@@ -138,15 +140,29 @@ class LocalShard:
         return not self._dead
 
     def call(self, op: str, payload: Any = None,
-             timeout_s: Optional[float] = None) -> Any:
+             timeout_s: Optional[float] = None,
+             trace_ctx: Any = None) -> Any:
         if self._dead:
             raise ShardDead("shard was killed")
         if op == "events":
             return []  # shard already logs into the router's EVENT_LOG
+        if op == "telemetry":
+            # Same-process spans/events already land in the router's
+            # recorder/log; an empty batch keeps the harvester uniform.
+            return {"spans": [], "events": [], "dropped": 0,
+                    "clock": time.monotonic()}
         if op == "crash":
             self.kill()
             raise ShardDead("injected crash")
-        return self._backend.dispatch(op, payload)
+        return self._backend.dispatch(op, payload, trace_ctx)
+
+    @property
+    def late_discards(self) -> int:
+        return 0  # no reader thread, no late replies to discard
+
+    @property
+    def pending(self) -> int:
+        return 0
 
     def kill(self) -> None:
         if not self._dead:
@@ -185,8 +201,20 @@ class ProcessShard:
         return self._proc.is_alive()
 
     def call(self, op: str, payload: Any = None,
-             timeout_s: Optional[float] = None) -> Any:
-        return self._conn.call(op, payload, timeout_s)
+             timeout_s: Optional[float] = None,
+             trace_ctx: Any = None) -> Any:
+        return self._conn.call(op, payload, timeout_s,
+                               trace_ctx=trace_ctx)
+
+    @property
+    def late_discards(self) -> int:
+        """Replies the reader dropped because their caller timed out."""
+        return self._conn.late_discards
+
+    @property
+    def pending(self) -> int:
+        """Requests awaiting a reply in the reader's in-flight table."""
+        return self._conn.inflight
 
     def kill(self) -> None:
         if self._proc.is_alive():
@@ -260,6 +288,152 @@ class _Flight:
 _REPLICA_READ_KINDS = (GetTile, SpatialQuery, ChangesSince)
 
 
+def estimate_clock_offset(call: Callable[..., float],
+                          clock: Callable[[], float] = time.monotonic,
+                          pings: int = 3) -> float:
+    """Estimate a peer process's monotonic clock offset via RTT pings.
+
+    ``call("clock")`` returns the peer's ``time.monotonic()``; bracketed
+    by local send/receive stamps, the offset is ``peer_ts − midpoint``.
+    The estimate from the smallest round trip wins — asymmetric
+    scheduling delay is the whole error term, and the tightest bracket
+    bounds it best. Rebasing a harvested span onto the local clock is
+    then ``start_s − offset``.
+    """
+    best_rtt: Optional[float] = None
+    best_offset = 0.0
+    for _ in range(max(1, pings)):
+        t0 = clock()
+        peer_ts = float(call("clock"))
+        t1 = clock()
+        rtt = t1 - t0
+        if best_rtt is None or rtt < best_rtt:
+            best_rtt = rtt
+            best_offset = peer_ts - (t0 + t1) / 2.0
+    return best_offset
+
+
+class TelemetryHarvester:
+    """Pulls spans and events out of shard processes into the router.
+
+    Each shard process records spans into its own ring (continuations of
+    router-propagated contexts, span ids namespaced per process); this
+    harvester drains those rings over the ``telemetry`` op in bounded
+    batches, rebases shard-monotonic timestamps onto the router clock
+    with a ping-based offset estimate, tags each span with its shard and
+    role (primary / replica slot), and ingests the result into the
+    router-process recorder — after which ``build_tree`` /
+    ``format_trace`` / ``verify_spans`` see one coherent tree per trace.
+
+    Runs as a daemon thread on a jittered interval (so N routers never
+    synchronize their harvest bursts), plus a final drain on router
+    ``close()``. Spans a shard overwrote before harvest are counted into
+    ``cluster.telemetry.dropped`` — loss is visible, never silent.
+    """
+
+    def __init__(self, router: "ClusterRouter", interval_s: float = 1.0,
+                 batch: int = 512, jitter: float = 0.25,
+                 seed: int = 0) -> None:
+        self._router = router
+        self.interval_s = interval_s
+        self.batch = batch
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.started = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "TelemetryHarvester":
+        if self._thread is None:
+            self.started = True
+            self._thread = threading.Thread(
+                target=self._loop, name="telemetry-harvester", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, final_harvest: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_harvest:
+            try:
+                self.harvest_once()
+            except Exception:
+                pass
+
+    def _next_interval(self) -> float:
+        spread = self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0.05, self.interval_s * (1.0 + spread))
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._next_interval()):
+            try:
+                self.harvest_once()
+            except Exception:
+                pass  # a dying shard mid-harvest is the router's problem
+
+    # -- harvesting -----------------------------------------------------
+    def harvest_once(self) -> Dict[str, int]:
+        """One sweep over every live primary and replica."""
+        router = self._router
+        totals = {"spans": 0, "events": 0, "dropped": 0}
+        for handle in router._handles:
+            with handle.lock:
+                targets: List[Tuple[str, Any]] = []
+                if handle.primary is not None and handle.primary.alive:
+                    targets.append(("primary", handle.primary))
+                for slot, replica in enumerate(handle.replicas):
+                    if replica.alive:
+                        targets.append((f"replica{slot}", replica))
+            for role, shard in targets:
+                try:
+                    offset = estimate_clock_offset(
+                        lambda op, _s=shard: _s.call(
+                            op, timeout_s=router.call_timeout_s))
+                    batch = shard.call(
+                        "telemetry",
+                        {"max_spans": self.batch,
+                         "max_events": self.batch},
+                        timeout_s=router.call_timeout_s)
+                except (ShardDead, ShardTimeout, RpcError):
+                    continue
+                counts = self.merge(handle.index, role, batch, offset)
+                for key in totals:
+                    totals[key] += counts[key]
+        router.telemetry_harvests.add()
+        return totals
+
+    def merge(self, index: int, role: str, batch: Dict[str, Any],
+              offset_s: float) -> Dict[str, int]:
+        """Rebase, tag, and ingest one shard's telemetry batch."""
+        router = self._router
+        spans = list(batch.get("spans") or [])
+        for span in spans:
+            span["start_s"] = float(span["start_s"]) - offset_s
+            if span.get("end_s") is not None:
+                span["end_s"] = float(span["end_s"]) - offset_s
+            attrs = span.setdefault("attrs", {})
+            attrs.setdefault("shard", index)
+            attrs["role"] = role
+        if spans:
+            TRACER.recorder.ingest(spans)
+            router.telemetry_spans.add(len(spans))
+        events = list(batch.get("events") or [])
+        for event in events:
+            event.setdefault("shard", index)
+            event["role"] = role
+        if events:
+            EVENT_LOG.ingest(events)
+            router.telemetry_events.add(len(events))
+        dropped = int(batch.get("dropped") or 0)
+        if dropped:
+            router.telemetry_dropped.add(dropped)
+        return {"spans": len(spans), "events": len(events),
+                "dropped": dropped}
+
+
 class ClusterRouter:
     """Routes the five request types across consistent-hashed shards.
 
@@ -286,7 +460,9 @@ class ClusterRouter:
                  pipeline: bool = True,
                  replica_reads: bool = True,
                  scatter: str = "concurrent",
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 telemetry_interval_s: Optional[float] = None,
+                 telemetry_batch: int = 512) -> None:
         if n_shards < 1:
             raise ClusterError("n_shards must be >= 1")
         if replicas < 0:
@@ -388,6 +564,18 @@ class ClusterRouter:
         self._flight_lock = threading.Lock()
         self._shard_latency: Dict[str, LatencyHistogram] = {}
         self._shard_outcomes: Dict[str, int] = {}
+        # Telemetry plane: harvested span/event/drop accounting, plus
+        # late-discard counts folded in from retired (restarted/killed)
+        # connections so the collector's sum survives restarts.
+        self.telemetry_spans = Counter()
+        self.telemetry_events = Counter()
+        self.telemetry_dropped = Counter()
+        self.telemetry_harvests = Counter()
+        self._late_discards_retired = 0
+        self.telemetry = TelemetryHarvester(
+            self, interval_s=telemetry_interval_s
+            if telemetry_interval_s is not None else 1.0,
+            batch=telemetry_batch)
         if registry is not None:
             self.register_into(registry)
 
@@ -400,9 +588,21 @@ class ClusterRouter:
             for _ in range(replicas):
                 handle.replicas.append(self._spawn(config))
             self._handles.append(handle)
+        if telemetry_interval_s is not None:
+            self.telemetry.start()
 
     # -- lifecycle ------------------------------------------------------
+    def harvest_telemetry(self) -> Dict[str, int]:
+        """Pull shard spans/events into the router recorder right now."""
+        return self.telemetry.harvest_once()
+
     def close(self) -> None:
+        # Final telemetry drain before the shard processes go away —
+        # without it, the tail of every trace would die with the shards.
+        if self.telemetry.started or TRACER.enabled:
+            self.telemetry.stop(final_harvest=True)
+        else:
+            self.telemetry.stop(final_harvest=False)
         for handle in self._handles:
             with handle.lock:
                 for shard in [handle.primary] + handle.replicas:
@@ -509,9 +709,15 @@ class ClusterRouter:
                 return LocalShard(config)
             return ProcessShard(config, self._start_method)
 
+    def _retire_connection(self, shard: Any) -> None:
+        """Fold a dying connection's late-discard count into the running
+        total so ``cluster.rpc.late_discards`` survives the restart."""
+        self._late_discards_retired += getattr(shard, "late_discards", 0)
+
     def _restart_primary_locked(self, handle: _ShardHandle) -> None:
         old = handle.primary
         if old is not None:
+            self._retire_connection(old)
             try:
                 old.kill()
             except Exception:
@@ -525,6 +731,7 @@ class ClusterRouter:
 
     def _restart_replica_locked(self, handle: _ShardHandle,
                                 slot: int) -> None:
+        self._retire_connection(handle.replicas[slot])
         try:
             handle.replicas[slot].kill()
         except Exception:
@@ -549,16 +756,29 @@ class ClusterRouter:
 
     # -- rpc ------------------------------------------------------------
     def _call(self, shard, op: str, payload: Any = None,
-              timeout_s: Optional[float] = None) -> Any:
+              timeout_s: Optional[float] = None,
+              attrs: Optional[Dict[str, object]] = None) -> Any:
         """All shard RPCs funnel through here so ``cluster.rpc.inflight``
-        tracks router-wide concurrency regardless of transport."""
+        tracks router-wide concurrency regardless of transport — and so
+        every shard call inside a sampled trace gets a ``cluster.rpc.<op>``
+        span whose context rides the request envelope to the shard
+        (``attrs`` carries the routing facts: shard index, replica slot
+        or primary). A timed-out call is stamped ``timed_out`` — its
+        reply, if it ever lands, is a late discard."""
+        span = TRACER.span(f"cluster.rpc.{op}", **(attrs or {}))
         with self._inflight_lock:
             self._inflight += 1
             if self._inflight > self._inflight_peak:
                 self._inflight_peak = self._inflight
             self.rpc_inflight.set(self._inflight)
         try:
-            return shard.call(op, payload, timeout_s=timeout_s)
+            with span:
+                try:
+                    return shard.call(op, payload, timeout_s=timeout_s,
+                                      trace_ctx=span.context)
+                except ShardTimeout:
+                    span.set("timed_out", True)
+                    raise
         finally:
             with self._inflight_lock:
                 self._inflight -= 1
@@ -657,7 +877,8 @@ class ClusterRouter:
         """One replica attempt; ``None`` means retry on the primary."""
         try:
             response = self._call(replica, "serve", request,
-                                  timeout_s=self.call_timeout_s)
+                                  timeout_s=self.call_timeout_s,
+                                  attrs={"shard": index, "replica": slot})
         except ShardDead:
             with handle.lock:
                 # Identity check: a concurrent reader may already have
@@ -707,7 +928,9 @@ class ClusterRouter:
         # method, restoring the serialized discipline.)
         try:
             response = self._call(shard, "serve", request,
-                                  timeout_s=self.call_timeout_s)
+                                  timeout_s=self.call_timeout_s,
+                                  attrs={"shard": index,
+                                         "replica": "primary"})
         except (ShardDead, ShardTimeout) as exc:
             return self._read_failover(handle, index, request, shard, exc)
         handle.lease_until = self._clock() + self.lease_s
@@ -736,7 +959,10 @@ class ClusterRouter:
             fresh = handle.primary
         try:
             response = self._call(fresh, "serve", request,
-                                  timeout_s=self.call_timeout_s)
+                                  timeout_s=self.call_timeout_s,
+                                  attrs={"shard": index,
+                                         "replica": "primary",
+                                         "failover": True})
         except (ShardDead, ShardTimeout) as exc2:
             _log.error("shard_unavailable", shard=index,
                        kind=request.kind, error=str(exc2))
@@ -761,7 +987,11 @@ class ClusterRouter:
                 flight = _Flight()
                 self._flights[key] = flight
         if not leader:
-            flight.done.wait()
+            # The follower's trace shows a wait, not an RPC: its span
+            # carries ``coalesced=True`` instead of a shard call.
+            with TRACER.span("cluster.read.wait", coalesced=True,
+                             tile=str(request.tile)):
+                flight.done.wait()
             if flight.response is not None:
                 self.read_coalesced.add()
                 return flight.response
@@ -793,8 +1023,13 @@ class ClusterRouter:
                 results[i] = run_one(i)
             return results
 
+        # Fresh threads start with an empty contextvar; re-attach the
+        # caller's trace so every scattered shard call parents under it.
+        ctx = TRACER.current()
+
         def run(i: int) -> None:
-            results[i] = run_one(i)
+            with attach_context(ctx):
+                results[i] = run_one(i)
 
         threads = [threading.Thread(target=run, args=(i,), daemon=True)
                    for i in indices]
@@ -848,7 +1083,9 @@ class ClusterRouter:
                     shard = self._ensure_primary_locked(handle)
                     response = self._call(
                         shard, "serve", IngestPatch(patch=sub),
-                        timeout_s=self.call_timeout_s)
+                        timeout_s=self.call_timeout_s,
+                        attrs={"shard": index, "replica": "primary",
+                               "write": True})
                     if response.status is not Status.OK:
                         raise ClusterError(
                             f"shard {index} refused write: "
@@ -879,7 +1116,8 @@ class ClusterRouter:
         for slot, replica in enumerate(handle.replicas):
             try:
                 self._call(replica, "apply", patch,
-                           timeout_s=self.call_timeout_s)
+                           timeout_s=self.call_timeout_s,
+                           attrs={"shard": handle.index, "replica": slot})
             except (ShardDead, ShardTimeout, RpcError):
                 # Restart from the journal (which already holds this
                 # patch): the replica comes back caught-up.
@@ -1049,29 +1287,41 @@ class ClusterRouter:
         """Route one request; returns a :class:`Response` whose
         ``version`` is the cluster version."""
         t0 = self._clock()
-        try:
-            if isinstance(request, GetTile):
-                response = self._get_tile(request)
-            elif isinstance(request, SpatialQuery):
-                response = self._spatial(request)
-            elif isinstance(request, IngestPatch):
-                response = self._ingest(request, t0)
-            elif isinstance(request, Snapshot):
-                response = self._snapshot(request)
-            elif isinstance(request, ChangesSince):
-                response = self._changes_broadcast(request)
-            else:
-                raise ClusterError(
-                    f"unknown request type {type(request).__name__}")
-        except Exception as exc:
-            response = Response(Status.ERROR,
-                                error=f"{type(exc).__name__}: {exc}")
-        latency = self._clock() - t0
-        out = Response(
-            status=response.status, payload=response.payload,
-            version=self.version if response.ok else response.version,
-            latency_s=latency, error=response.error,
-            staleness=response.staleness)
+        # Root of the cross-process tree (client → router): inside an
+        # already-active trace this is a child span; otherwise the
+        # sampling decision for the whole request is made here.
+        kind = request.kind
+        if TRACER.current() is not None:
+            span = TRACER.span(f"cluster.request.{kind}")
+        else:
+            span = TRACER.start_trace(f"cluster.request.{kind}")
+        with span:
+            try:
+                if isinstance(request, GetTile):
+                    response = self._get_tile(request)
+                elif isinstance(request, SpatialQuery):
+                    response = self._spatial(request)
+                elif isinstance(request, IngestPatch):
+                    response = self._ingest(request, t0)
+                elif isinstance(request, Snapshot):
+                    response = self._snapshot(request)
+                elif isinstance(request, ChangesSince):
+                    response = self._changes_broadcast(request)
+                else:
+                    raise ClusterError(
+                        f"unknown request type {type(request).__name__}")
+            except Exception as exc:
+                response = Response(Status.ERROR,
+                                    error=f"{type(exc).__name__}: {exc}")
+            latency = self._clock() - t0
+            out = Response(
+                status=response.status, payload=response.payload,
+                version=self.version if response.ok else response.version,
+                latency_s=latency, error=response.error,
+                staleness=response.staleness)
+            if span.context is not None:
+                span.set("status", out.status.value)
+                span.set("version", out.version)
         self.metrics.record(request.kind, out.status.value, latency)
         return out
 
@@ -1209,6 +1459,21 @@ class ClusterRouter:
         with self._journal_lock:
             return list(self._journal)
 
+    def late_discards_total(self) -> int:
+        """Late replies dropped across all connections, ever — live
+        counts plus the totals retired with restarted connections."""
+        total = self._late_discards_retired
+        for handle in self._handles:
+            for shard in [handle.primary] + list(handle.replicas):
+                total += getattr(shard, "late_discards", 0)
+        return total
+
+    def rpc_pending_total(self) -> int:
+        """Requests sitting in reader-thread in-flight tables right now."""
+        return sum(getattr(shard, "pending", 0)
+                   for handle in self._handles
+                   for shard in [handle.primary] + list(handle.replicas))
+
     def register_into(self, registry: MetricsRegistry,
                       prefix: str = "cluster") -> None:
         """Register router metrics under canonical ``cluster.*`` names:
@@ -1222,6 +1487,12 @@ class ClusterRouter:
         - ``cluster.rpc.inflight`` (router-wide concurrent shard calls)
           / ``cluster.read.replica_hits`` / ``cluster.read.replica_lag``
           / ``cluster.read.coalesced`` — the pipelined read path;
+        - ``cluster.rpc.late_discards`` (replies dropped because their
+          caller timed out, summed across connections and restarts) /
+          ``cluster.rpc.pending`` (reader-thread in-flight tables);
+        - ``cluster.telemetry.spans`` / ``cluster.telemetry.events`` /
+          ``cluster.telemetry.dropped`` / ``cluster.telemetry.harvests``
+          — the cross-process trace harvest;
         - ``cluster.shard.latency.<kind>`` — per-shard histograms merged
           by :meth:`collect_shard_metrics`, and
           ``cluster.shard.requests.<kind>.<status>`` summed across
@@ -1239,9 +1510,20 @@ class ClusterRouter:
                           self.replica_hits)
         registry.register(f"{prefix}.read.replica_lag", self.replica_lag)
         registry.register(f"{prefix}.read.coalesced", self.read_coalesced)
+        registry.register(f"{prefix}.telemetry.spans",
+                          self.telemetry_spans)
+        registry.register(f"{prefix}.telemetry.events",
+                          self.telemetry_events)
+        registry.register(f"{prefix}.telemetry.dropped",
+                          self.telemetry_dropped)
+        registry.register(f"{prefix}.telemetry.harvests",
+                          self.telemetry_harvests)
 
         def collect() -> Dict[str, object]:
-            out: Dict[str, object] = {}
+            out: Dict[str, object] = {
+                f"{prefix}.rpc.late_discards": self.late_discards_total(),
+                f"{prefix}.rpc.pending": self.rpc_pending_total(),
+            }
             for kind, hist in self._shard_latency.items():
                 out[f"{prefix}.shard.latency.{kind}"] = hist
             for key, value in self._shard_outcomes.items():
@@ -1267,4 +1549,7 @@ class ClusterRouter:
             "replica_lag": self.replica_lag.value,
             "coalesced": self.read_coalesced.value,
             "inflight_peak": self._inflight_peak,
+            "late_discards": self.late_discards_total(),
+            "telemetry_spans": self.telemetry_spans.value,
+            "telemetry_dropped": self.telemetry_dropped.value,
         }

@@ -6,14 +6,22 @@ fixed 13-byte header — ``!QBI`` request id (8 bytes) + frame kind
 kinds exist:
 
 - ``KIND_PICKLE`` (0): the body is a pickled object. Requests carry
-  ``(op, payload)`` tuples; replies carry ``("ok", result)`` or
-  ``("err", message)``.
+  ``(op, payload)`` tuples — or ``(op, payload, trace_ctx)`` when the
+  caller is inside a sampled trace: the optional third element is a
+  picklable :class:`~repro.obs.trace.TraceContext` the shard resumes
+  with ``TRACER.continue_from``, which is how one trace id spans the
+  router and shard processes. Receivers accept both shapes, so an
+  untraced stream is byte-identical to the pre-tracing wire format.
+  Replies carry ``("ok", result)`` or ``("err", message)``.
 - ``KIND_RAW_RESPONSE`` (1): an OK reply whose payload is raw bytes —
-  a fixed ``!qid`` meta block (served version, staleness, handler
-  latency) followed by the payload verbatim. Shards use this to forward
-  encoded-tile pack slices to the router without a pickle round-trip:
-  the payload ``memoryview`` is written straight from the mmap to the
-  socket and never copied into a pickle buffer.
+  a fixed ``!qidB`` meta block (served version, staleness, handler
+  latency, trace flags) followed by the payload verbatim. Shards use
+  this to forward encoded-tile pack slices to the router without a
+  pickle round-trip: the payload ``memoryview`` is written straight
+  from the mmap to the socket and never copied into a pickle buffer.
+  The flags byte's bit 0 says the shard handled the request inside the
+  propagated trace (the full context never needs to travel back — the
+  router minted it); it surfaces as ``Response.trace_sampled``.
 
 The request id is echoed back in the reply header, so a router that
 timed out on a slow shard and moved on can recognise and discard the
@@ -61,8 +69,11 @@ KIND_PICKLE = 0
 KIND_RAW_RESPONSE = 1
 
 #: meta block of a raw response: served version (signed — REJECTED/SHED
-#: carry −1), staleness in versions, handler latency in seconds
-_RAW_META = struct.Struct("!qid")
+#: carry −1), staleness in versions, handler latency in seconds, trace
+#: flags (bit 0: handled inside the request's propagated trace)
+_RAW_META = struct.Struct("!qidB")
+
+_TRACE_FLAG_SAMPLED = 1
 
 
 class RpcError(Exception):
@@ -87,16 +98,20 @@ def send_frame(sock: socket.socket, request_id: int, body: Any) -> None:
 
 
 def send_raw_response(sock: socket.socket, request_id: int,
-                      response: Response) -> None:
+                      response: Response, sampled: bool = False) -> None:
     """Write one OK reply whose payload ships as raw bytes.
 
     The payload (``bytes``/``bytearray``/``memoryview`` — e.g. a pack
     mmap slice) is written directly after the meta block, so a zero-copy
     tile view goes mmap → socket without ever entering a pickle buffer.
+    ``sampled`` sets the meta block's trace flag: the request travelled
+    with a sampled :class:`~repro.obs.trace.TraceContext` and shard-side
+    spans exist for it.
     """
     payload = memoryview(response.payload)
+    flags = _TRACE_FLAG_SAMPLED if sampled else 0
     meta = _RAW_META.pack(response.version, response.staleness,
-                          response.latency_s)
+                          response.latency_s, flags)
     try:
         sock.sendall(_HEADER.pack(request_id, KIND_RAW_RESPONSE,
                                   _RAW_META.size + payload.nbytes) + meta)
@@ -134,11 +149,13 @@ def recv_frame(sock: socket.socket) -> Tuple[int, Any]:
     if kind == KIND_RAW_RESPONSE:
         if length < _RAW_META.size:
             raise ShardDead(f"short raw frame ({length} bytes)")
-        version, staleness, latency_s = _RAW_META.unpack(
+        version, staleness, latency_s, flags = _RAW_META.unpack(
             raw[:_RAW_META.size])
-        return request_id, ("ok", Response(
+        response = Response(
             Status.OK, payload=raw[_RAW_META.size:], version=version,
-            latency_s=latency_s, staleness=staleness))
+            latency_s=latency_s, staleness=staleness)
+        response.trace_sampled = bool(flags & _TRACE_FLAG_SAMPLED)
+        return request_id, ("ok", response)
     if kind != KIND_PICKLE:
         raise ShardDead(f"unknown frame kind {kind}")
     return request_id, pickle.loads(raw)
@@ -158,11 +175,14 @@ class RpcConnection:
         self._next_id = 1
 
     def call(self, op: str, payload: Any = None,
-             timeout_s: Optional[float] = None) -> Any:
+             timeout_s: Optional[float] = None,
+             trace_ctx: Any = None) -> Any:
         request_id = self._next_id
         self._next_id += 1
         self._sock.settimeout(timeout_s)
-        send_frame(self._sock, request_id, (op, payload))
+        body = (op, payload) if trace_ctx is None \
+            else (op, payload, trace_ctx)
+        send_frame(self._sock, request_id, body)
         while True:
             reply_id, body = recv_frame(self._sock)
             if reply_id != request_id:
@@ -231,7 +251,8 @@ class PipelinedConnection:
             return len(self._waiters)
 
     def call(self, op: str, payload: Any = None,
-             timeout_s: Optional[float] = None) -> Any:
+             timeout_s: Optional[float] = None,
+             trace_ctx: Any = None) -> Any:
         waiter = _Waiter()
         with self._lock:
             if self._dead is not None:
@@ -239,9 +260,11 @@ class PipelinedConnection:
             request_id = self._next_id
             self._next_id += 1
             self._waiters[request_id] = waiter
+        body = (op, payload) if trace_ctx is None \
+            else (op, payload, trace_ctx)
         try:
             with self._send_lock:
-                send_frame(self._sock, request_id, (op, payload))
+                send_frame(self._sock, request_id, body)
         except ShardDead:
             with self._lock:
                 self._waiters.pop(request_id, None)
@@ -308,18 +331,26 @@ def serve_connection(sock: socket.socket, dispatch,
     worker pool and are answered out of order; replies from callbacks
     and from this loop serialize on one send lock. An ``async_dispatch``
     returning ``None`` falls back to the synchronous path.
+
+    Traced requests arrive as ``(op, payload, trace_ctx)`` 3-tuples; the
+    context is handed to the dispatcher as a third positional argument
+    (dispatchers that support tracing declare ``trace_ctx=None``).
+    Untraced 2-tuples keep calling the two-argument form, so simple
+    test dispatchers keep working unchanged.
     """
     sock.settimeout(None)
     send_lock = threading.Lock()
 
-    def send_result(request_id: int, result: Any) -> bool:
+    def send_result(request_id: int, result: Any,
+                    sampled: bool = False) -> bool:
         try:
             with send_lock:
                 if isinstance(result, Response) \
                         and result.status is Status.OK \
                         and isinstance(result.payload,
                                        (bytes, bytearray, memoryview)):
-                    send_raw_response(sock, request_id, result)
+                    send_raw_response(sock, request_id, result,
+                                      sampled=sampled)
                 else:
                     send_frame(sock, request_id, ("ok", result))
             return True
@@ -337,9 +368,15 @@ def serve_connection(sock: socket.socket, dispatch,
 
     while True:
         try:
-            request_id, (op, payload) = recv_frame(sock)
+            request_id, body = recv_frame(sock)
         except (ShardDead, ShardTimeout):
             return
+        if len(body) == 3:
+            op, payload, trace_ctx = body
+        else:
+            op, payload = body
+            trace_ctx = None
+        sampled = trace_ctx is not None
         if op == "shutdown":
             try:
                 with send_lock:
@@ -349,25 +386,32 @@ def serve_connection(sock: socket.socket, dispatch,
             return
         if async_dispatch is not None:
             try:
-                future = async_dispatch(op, payload)
+                if trace_ctx is not None:
+                    future = async_dispatch(op, payload, trace_ctx)
+                else:
+                    future = async_dispatch(op, payload)
             except Exception as exc:
                 if not send_error(request_id, exc):
                     return
                 continue
             if future is not None:
-                def _finish(fut, request_id=request_id):
+                def _finish(fut, request_id=request_id, sampled=sampled):
                     exc = fut.exception()
                     if exc is not None:
                         send_error(request_id, exc)
                     else:
-                        send_result(request_id, fut.result())
+                        send_result(request_id, fut.result(),
+                                    sampled=sampled)
                 future.add_done_callback(_finish)
                 continue
         try:
-            result = dispatch(op, payload)
+            if trace_ctx is not None:
+                result = dispatch(op, payload, trace_ctx)
+            else:
+                result = dispatch(op, payload)
         except Exception as exc:  # ship the failure, keep serving
             if not send_error(request_id, exc):
                 return
             continue
-        if not send_result(request_id, result):
+        if not send_result(request_id, result, sampled=sampled):
             return

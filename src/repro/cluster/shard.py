@@ -37,12 +37,15 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.tiles import TileId
 from repro.core.versioning import MapPatch
-from repro.obs.log import EVENT_LOG
+from repro.obs.log import EVENT_LOG, get_logger
+from repro.obs.trace import TRACER, SpanRecorder
 from repro.serve.api import Request
 from repro.serve.service import MapService
 from repro.storage.binary import decode_map
 from repro.storage.tilestore import TileStore
 from repro.update.distribution import ConflictPolicy, MapDistributionServer
+
+_log = get_logger("cluster.shard")
 
 
 @dataclass
@@ -97,6 +100,10 @@ class ShardBackend:
         self._slow_lock = threading.Lock()
         self._slow_delay_s = 0.0
         self._slow_count = 0
+        # Telemetry drop accounting: ``dropped`` on the recorder is
+        # cumulative; each telemetry drain reports only the delta since
+        # the previous one.
+        self._telemetry_dropped_seen = 0
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "ShardBackend":
@@ -107,15 +114,33 @@ class ShardBackend:
         self.service.stop()
 
     # -- dispatch -------------------------------------------------------
-    def _maybe_slow(self) -> None:
+    def _maybe_slow(self) -> float:
+        """Apply an armed slow fault; returns the delay slept (0 = none)."""
         with self._slow_lock:
             if self._slow_count <= 0:
-                return
+                return 0.0
             self._slow_count -= 1
             delay = self._slow_delay_s
         time.sleep(delay)
+        return delay
 
-    def dispatch_async(self, op: str, payload: Any):
+    def _serve_span(self, trace_ctx, op: str, delayed: float):
+        """Resume the router's propagated trace as a ``shard.serve`` span.
+
+        The span parents everything the worker pool records for the
+        request (``MapService.submit`` captures the active context), and
+        a fired slow fault is stamped onto it — plus a trace-correlated
+        ``fault_injected`` event — so a poisoned trace is identifiable
+        from the merged tree alone.
+        """
+        span = TRACER.continue_from(trace_ctx, "shard.serve",
+                                    shard=self.config.index, op=op)
+        if span.context is not None and delayed:
+            span.set("fault", "cluster.slow_shard")
+            span.set("fault_delay_s", delayed)
+        return span
+
+    def dispatch_async(self, op: str, payload: Any, trace_ctx: Any = None):
         """Pipelined dispatch: ``serve`` ops return a ``Future`` resolved
         by the worker pool, so the connection loop keeps reading while
         slow handlers run — requests overlap inside one shard and
@@ -128,15 +153,46 @@ class ShardBackend:
         # An armed slow fault sleeps *here*, in the connection loop —
         # stalling the whole stream like a wedged shard, which is what
         # the timeout -> failover chaos path expects to observe.
-        self._maybe_slow()
+        delayed = self._maybe_slow()
         assert isinstance(payload, Request)
-        return self.service.submit(payload)
+        span = self._serve_span(trace_ctx, op, delayed)
+        # Enter (activating the context so submit() parents under this
+        # span), submit, then detach without ending: the span covers the
+        # whole shard-side handling and is closed by the future callback
+        # — registered first, so it runs before the reply is sent.
+        span.__enter__()
+        try:
+            if delayed:
+                _log.warning("fault_injected", fault="cluster.slow_shard",
+                             shard=self.config.index, delay_s=delayed)
+            future = self.service.submit(payload)
+        except BaseException:
+            span.__exit__(None, None, None)
+            raise
+        finally:
+            span.detach()
+        if span.context is not None:
+            def _close_span(fut, span=span):
+                resp = None if fut.exception() is not None else fut.result()
+                if resp is not None:
+                    span.set("status", resp.status.value)
+                span.__exit__(None, None, None)
+            future.add_done_callback(_close_span)
+        return future
 
-    def dispatch(self, op: str, payload: Any) -> Any:
-        self._maybe_slow()
+    def dispatch(self, op: str, payload: Any, trace_ctx: Any = None) -> Any:
+        delayed = self._maybe_slow()
         if op == "serve":
             assert isinstance(payload, Request)
-            return self.service.request(payload, timeout=30.0)
+            with self._serve_span(trace_ctx, op, delayed) as span:
+                if delayed:
+                    _log.warning("fault_injected",
+                                 fault="cluster.slow_shard",
+                                 shard=self.config.index, delay_s=delayed)
+                response = self.service.request(payload, timeout=30.0)
+                if span.context is not None:
+                    span.set("status", response.status.value)
+                return response
         if op == "apply":
             # Replica write path: apply an effective (post-conflict-
             # resolution) patch verbatim, exactly as journal replay does,
@@ -146,6 +202,14 @@ class ShardBackend:
                 payload, policy=ConflictPolicy.LAST_WRITER_WINS)
         if op == "ping":
             return "pong"
+        if op == "clock":
+            # Clock-offset ping: the harvester reads this process's
+            # monotonic clock, brackets it with its own send/receive
+            # stamps, and estimates the offset as shard_ts − midpoint.
+            return time.monotonic()
+        if op == "telemetry":
+            return self.telemetry(payload if isinstance(payload, dict)
+                                  else {})
         if op == "version":
             return self.server.version
         if op == "changelog":
@@ -170,31 +234,68 @@ class ShardBackend:
             os._exit(17)
         raise ValueError(f"unknown shard op {op!r}")
 
+    def telemetry(self, limits: Dict[str, Any]) -> Dict[str, Any]:
+        """Drain this process's span ring and event tail, bounded.
+
+        The harvest op: returns up to ``max_spans`` span dicts and
+        ``max_events`` event dicts (oldest first, removed from the local
+        rings), the span-drop delta since the previous drain, and this
+        process's monotonic clock so the router can sanity-check its
+        offset estimate. In the local transport the router intercepts
+        this op — in-process spans land directly in its recorder.
+        """
+        recorder = TRACER.recorder
+        spans = recorder.drain(int(limits.get("max_spans", 512)))
+        events = EVENT_LOG.drain(int(limits.get("max_events", 512)))
+        dropped = recorder.dropped - self._telemetry_dropped_seen
+        self._telemetry_dropped_seen = recorder.dropped
+        return {
+            "shard": self.config.index,
+            "spans": spans,
+            "events": events,
+            "dropped": dropped,
+            "clock": time.monotonic(),
+        }
+
     def changelog(self) -> List[Tuple[int, object]]:
         """The shard's full ``(version, MapChange)`` log, atomically."""
         with self.server._lock:
             return list(self.server.db.log.entries)
 
 
-def _post_fork_sanitize() -> None:
+def _post_fork_sanitize(index: Optional[int] = None) -> None:
     """Make inherited global state safe and quiet in a forked child.
 
     Fork can snapshot locks mid-acquisition by a router thread; every
     lock the child might touch through module globals is replaced with a
     fresh one. The inherited event ring is cleared so the shard ships
-    only its *own* events when the router polls them.
+    only its *own* events when the router polls them, and the inherited
+    JSONL sinks are dropped so the child never appends to the router's
+    files.
+
+    Tracing is rebuilt for the telemetry plane: a fresh recorder (no
+    router spans, no sink), span ids namespaced ``s<index>-<pid>-`` so
+    merged rings never collide, and ``sample_rate=0`` — a shard never
+    *starts* traces, it only continues contexts the router propagated
+    (``continue_from`` ignores the sampler).
     """
     EVENT_LOG._lock = threading.Lock()
     EVENT_LOG._events.clear()
+    EVENT_LOG.jsonl_path = None
     for counter in EVENT_LOG.counts_by_level.values():
         counter._lock = threading.Lock()
+    TRACER.recorder = SpanRecorder(capacity=TRACER.recorder.capacity)
+    if index is not None:
+        TRACER.id_prefix = f"s{index}-{os.getpid():x}-"
+    TRACER.enabled = True
+    TRACER.set_sample_rate(0.0)
 
 
 def shard_main(config: ShardConfig, sock) -> None:
     """Child-process entrypoint: boot the backend and serve the socket."""
     from repro.cluster.rpc import serve_connection
 
-    _post_fork_sanitize()
+    _post_fork_sanitize(config.index)
     backend = ShardBackend(config).start()
     try:
         serve_connection(sock, backend.dispatch, backend.dispatch_async)

@@ -57,6 +57,7 @@ from repro.obs.trace import (
     SpanRecorder,
     TraceContext,
     Tracer,
+    attach_context,
     build_tree,
     configure_tracing,
     format_trace,
@@ -84,6 +85,7 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "WARNING",
+    "attach_context",
     "build_tree",
     "configure_logging",
     "configure_tracing",

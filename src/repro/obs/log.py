@@ -80,6 +80,39 @@ class EventLog:
                     f.write(line + "\n")
         return entry
 
+    def drain(self, max_events: Optional[int] = None
+              ) -> List[Dict[str, object]]:
+        """Pop up to ``max_events`` oldest entries out of the ring.
+
+        The telemetry-harvest path: a shard ships its event tail to the
+        router in bounded batches instead of re-sending the whole ring
+        on every ``events`` poll. Draining is destructive by design —
+        each event is harvested exactly once.
+        """
+        out: List[Dict[str, object]] = []
+        with self._lock:
+            while self._events and (max_events is None
+                                    or len(out) < max_events):
+                out.append(self._events.popleft())
+        return out
+
+    def ingest(self, entries: List[Dict[str, object]]) -> int:
+        """Append harvested entries (from another process's log) as-is.
+
+        Wall-clock ``ts`` stamps are comparable across processes on one
+        host, so no rebasing happens here; per-level counters are bumped
+        so ``log.events.<level>`` reflects the merged stream.
+        """
+        n = 0
+        with self._lock:
+            for entry in entries:
+                counter = self.counts_by_level.get(str(entry.get("level")))
+                if counter is not None:
+                    counter.add()
+                self._events.append(entry)
+                n += 1
+        return n
+
     # -- introspection --------------------------------------------------
     def events(self, min_level: int = DEBUG,
                event: Optional[str] = None) -> List[Dict[str, object]]:

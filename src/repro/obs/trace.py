@@ -92,6 +92,15 @@ class Span:
         self._token = _ACTIVE.set(self.context)
         return self
 
+    def detach(self) -> None:
+        """Deactivate without ending: for spans that outlive the thread's
+        activation window and are finished later (e.g. a shard-side span
+        closed from a worker future's callback). Must run in the thread
+        that entered the span."""
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+            self._token = None
+
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self._token is not None:
             _ACTIVE.reset(self._token)
@@ -133,6 +142,9 @@ class _NoopSpan:
     def end(self, t: Optional[float] = None) -> None:
         pass
 
+    def detach(self) -> None:
+        pass
+
 
 NOOP_SPAN = _NoopSpan()
 
@@ -168,6 +180,49 @@ class SpanRecorder:
             with self._sink_lock:
                 with open(self.jsonl_path, "a", encoding="utf-8") as f:
                     f.write(line + "\n")
+
+    def drain(self, max_spans: Optional[int] = None
+              ) -> List[Dict[str, object]]:
+        """Take up to ``max_spans`` oldest spans out of the ring as dicts.
+
+        The telemetry-harvest path: a shard drains its own ring in
+        bounded batches and ships the dicts over RPC. Each slot is
+        cleared only if it still holds the drained entry (an identity
+        check, atomic under the GIL), so a concurrent ``record`` into
+        the same slot is never lost — the newer span just ships with the
+        next drain.
+        """
+        entries = [e for e in self._ring if e is not None]
+        entries.sort(key=lambda e: e[0])
+        if max_spans is not None:
+            entries = entries[:max_spans]
+        out: List[Dict[str, object]] = []
+        for entry in entries:
+            seq, span = entry
+            slot = seq % self.capacity
+            if self._ring[slot] is entry:
+                self._ring[slot] = None
+            out.append(span.as_dict())
+        return out
+
+    def ingest(self, spans: Iterable[Dict[str, object]]) -> int:
+        """Record span dicts harvested from another process's recorder.
+
+        Rebuilds lightweight :class:`Span` objects (already finished, so
+        they never touch a tracer clock) and records them normally —
+        including into the JSONL sink, so a merged dump contains the
+        whole cross-process tree.
+        """
+        n = 0
+        for d in spans:
+            span = Span(None, str(d["name"]), str(d["trace_id"]),
+                        str(d["span_id"]), d.get("parent_id"),
+                        float(d["start_s"]), dict(d.get("attrs") or {}))
+            end_s = d.get("end_s")
+            span.end_s = None if end_s is None else float(end_s)
+            self.record(span)
+            n += 1
+        return n
 
     # -- introspection --------------------------------------------------
     def spans(self) -> List[Span]:
@@ -212,13 +267,19 @@ class Tracer:
 
     def __init__(self, recorder: Optional[SpanRecorder] = None,
                  enabled: bool = False, sample_rate: float = 1.0,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 id_prefix: str = "") -> None:
         self.recorder = recorder if recorder is not None else SpanRecorder()
         self.enabled = enabled
         self._clock = clock
         self._ids = itertools.count(1)
         self._sample_seq = itertools.count()
         self._every = 1
+        #: Span-id namespace. Each process merging spans into a shared
+        #: recorder must mint ids in its own namespace (shard workers use
+        #: ``s<index>-<pid>-``) — per-process counters would otherwise
+        #: collide when telemetry harvesting merges the rings.
+        self.id_prefix = id_prefix
         self.set_sample_rate(sample_rate)
 
     # -- configuration --------------------------------------------------
@@ -255,7 +316,7 @@ class Tracer:
         return next(self._sample_seq) % self._every == 0
 
     def _new_id(self) -> str:
-        return f"{next(self._ids):012x}"
+        return f"{self.id_prefix}{next(self._ids):012x}"
 
     def _record(self, span: Span) -> None:
         self.recorder.record(span)
@@ -328,6 +389,39 @@ def configure_tracing(enabled: Optional[bool] = None,
     return TRACER.configure(enabled=enabled, sample_rate=sample_rate,
                             capacity=capacity, jsonl_path=jsonl_path,
                             reset=reset)
+
+
+class _AttachedContext:
+    """Context manager that re-activates a carried TraceContext."""
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx: Optional[TraceContext]) -> None:
+        self._ctx = ctx
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> "_AttachedContext":
+        if self._ctx is not None:
+            self._token = _ACTIVE.set(self._ctx)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+            self._token = None
+        return False
+
+
+def attach_context(ctx: Optional[TraceContext]) -> _AttachedContext:
+    """Re-activate ``ctx`` in the current thread without opening a span.
+
+    New threads start with an empty contextvar, so a scatter-gather
+    worker spawned inside a traced request would silently lose the
+    trace; the spawner captures :meth:`Tracer.current` and the worker
+    runs under ``with attach_context(ctx):``. A ``None`` context is a
+    no-op.
+    """
+    return _AttachedContext(ctx)
 
 
 # -- offline span-tree tooling (CLI `obs trace`, smoke checks) ----------
