@@ -7,12 +7,15 @@ paper's fleet-scale ecosystem assumes sensors drop and duplicate
 uplinks, workers crash, the database hiccups, and request load spikes.
 This bench runs the curated fault matrix (one seeded
 :class:`~repro.chaos.faults.FaultPlan` per fault class: sensor, bus,
-pipeline, publish, serve) through :class:`~repro.chaos.ChaosHarness`
-and asserts the four degradation invariants hold under every class —
-no lost acked observations, no duplicate published patches, version
-monotonicity, bounded freshness lag — plus the harness's own honesty
+pipeline, publish, serve, geometry) through
+:class:`~repro.chaos.ChaosHarness` and asserts the five degradation
+invariants hold under every class — no lost acked observations, no
+duplicate published patches, version monotonicity, bounded freshness
+lag, zero constraint violations served — plus the harness's own honesty
 check: with faults disabled, the chaos run's final map is byte-identical
-to a plain pipeline run of the same seed.
+to a plain pipeline run of the same seed. The geometry class is the
+verify gate's trial: every injected malformed patch must land in
+quarantine, never in the served map.
 """
 
 from conftest import once
@@ -35,6 +38,10 @@ def _experiment(rng):
     workload = ChaosWorkload(seed=_SEED)
     reports = {}
     for fault_class, plan in curated_matrix(_SEED):
+        if fault_class == "shard":
+            # cluster-only points: nothing fires in the single-node
+            # harness; bench_s06_cluster.py certifies this class.
+            continue
         harness = ChaosHarness(city, plan, workload=workload)
         reports[fault_class] = harness.run(fault_class)
 
@@ -55,10 +62,11 @@ def test_s05_chaos_matrix(benchmark, rng):
         table.add(f"{fault_class}: faults fired", "> 0", str(fired),
                   ok=fired > 0)
         violations = report.violations()
-        table.add(f"{fault_class}: invariants certified", "4/4",
-                  f"{4 - len(violations)}/4"
+        total = len(report.invariants)
+        table.add(f"{fault_class}: invariants certified", "5/5",
+                  f"{total - len(violations)}/{total}"
                   + (f" ({violations[0].name})" if violations else ""),
-                  ok=report.certify())
+                  ok=report.certify() and total == 5)
 
     # Degradation must be *observable*: the pipeline-class run crashes
     # workers and dead-letters poison, and both must surface in the
@@ -78,8 +86,18 @@ def test_s05_chaos_matrix(benchmark, rng):
               str(serve["max_staleness_versions"]),
               ok=serve["max_staleness_versions"] <= 2)
 
-    table.add("faults-disabled run certifies", "4/4",
-              f"{4 - len(baseline.violations())}/4", ok=baseline.certify())
+    # The verify gate must be *exercised*, not vacuously green: every
+    # malformed patch the geometry class injected must be quarantined.
+    verify = reports["geometry"].stats["verify"]
+    injected = sum(reports["geometry"].fired.values())
+    table.add("geometry: malformed patches quarantined", "== injected",
+              f"{verify['quarantined']}/{injected}",
+              ok=injected > 0 and verify["quarantined"] == injected)
+
+    n_base = len(baseline.invariants)
+    table.add("faults-disabled run certifies", "5/5",
+              f"{n_base - len(baseline.violations())}/{n_base}",
+              ok=baseline.certify() and n_base == 5)
     table.add("faults-disabled parity vs plain pipeline", "byte-identical",
               f"{len(chaos_bytes)} B vs {len(plain_bytes)} B "
               + ("(equal)" if chaos_bytes == plain_bytes else "(DIFFER)"),

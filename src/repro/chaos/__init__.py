@@ -13,13 +13,14 @@ Public API:
   (:mod:`repro.chaos.cluster`) — the ``shard`` fault class: shard
   crashes, slow shards, and rebalances against the sharded
   :class:`~repro.cluster.router.ClusterRouter`, certifying the same
-  four invariants from the router journal, merged snapshot, and
+  five invariants from the router journal, merged snapshot, and
   per-shard change logs;
 - :class:`ChaosReport` / :class:`InvariantResult` /
   :func:`check_invariants` (:mod:`repro.chaos.report`) — certifies the
-  four degradation invariants (no lost acked observations, no duplicate
-  published patches, version monotonicity, bounded freshness lag) from
-  the run's :mod:`repro.obs` event stream, metrics, and change log.
+  five degradation invariants (no lost acked observations, no duplicate
+  published patches, version monotonicity, bounded freshness lag, zero
+  constraint violations served) from the run's :mod:`repro.obs` event
+  stream, metrics, change log, and a constraint scan of the served map.
 
 ``python -m repro.cli chaos-bench`` runs the curated fault matrix;
 ``docs/OPERATIONS.md`` maps the symptoms these faults produce to the
@@ -39,6 +40,9 @@ from repro.chaos.faults import (
     CLUSTER_SHARD_CRASH,
     CLUSTER_SLOW_SHARD,
     FAULT_CLASSES,
+    GEOMETRY_BROKEN_BOUNDARY,
+    GEOMETRY_DEGENERATE_LANE,
+    GEOMETRY_ORPHAN_REGULATORY,
     PIPELINE_POISON,
     PIPELINE_WORKER_CRASH,
     PUBLISH_CONFLICT,
@@ -57,7 +61,12 @@ from repro.chaos.faults import (
     curated_matrix,
 )
 from repro.chaos.harness import ChaosHarness, ChaosWorkload
-from repro.chaos.report import ChaosReport, InvariantResult, check_invariants
+from repro.chaos.report import (
+    ChaosReport,
+    InvariantResult,
+    check_invariants,
+    check_served_map_clean,
+)
 
 __all__ = [
     "ALL_FAULT_POINTS",
@@ -67,6 +76,9 @@ __all__ = [
     "CLUSTER_SHARD_CRASH",
     "CLUSTER_SLOW_SHARD",
     "FAULT_CLASSES",
+    "GEOMETRY_BROKEN_BOUNDARY",
+    "GEOMETRY_DEGENERATE_LANE",
+    "GEOMETRY_ORPHAN_REGULATORY",
     "PIPELINE_POISON",
     "PIPELINE_WORKER_CRASH",
     "PUBLISH_CONFLICT",
@@ -90,5 +102,6 @@ __all__ = [
     "InvariantResult",
     "canonical_map_bytes",
     "check_invariants",
+    "check_served_map_clean",
     "curated_matrix",
 ]

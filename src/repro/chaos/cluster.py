@@ -20,7 +20,7 @@ increasing confidence so conflict resolution never depends on per-shard
 version spacing) interleaved with *concurrent bursts* of pinned reads —
 exercising the pipelined connections and replica-routed read path, so an
 injected crash lands with multiple requests genuinely in flight — and
-incremental client syncs. The same four invariants as the single-node matrix are certified
+incremental client syncs. The same five invariants as the single-node matrix are certified
 from the cluster's observable surfaces — the router journal, the merged
 snapshot, each shard's change log, response versions, and the router's
 freshness histogram:
@@ -43,6 +43,12 @@ freshness histogram:
 4. **Bounded freshness lag** — submit→ack lag stays under the bound
    even across crash-restart cycles, because restart replays a bounded
    journal and the write path retries exactly once.
+5. **Zero constraint violations served** — a full constraint-engine
+   scan of the merged cluster snapshot (what a bootstrapping client
+   receives) finds no ERROR-severity violation. The cluster layer has
+   no quarantine store of its own; the gate lives in the ingest
+   pipeline fronting each shard, so this is certified from the served
+   state alone.
 
 A faults-disabled run is the parity probe: its canonical merged bytes
 must equal :meth:`ClusterChaosHarness.run_plain` — the same patch stream
@@ -64,7 +70,11 @@ from repro.chaos.faults import (
     CLUSTER_SLOW_SHARD,
     FaultPlan,
 )
-from repro.chaos.report import ChaosReport, InvariantResult
+from repro.chaos.report import (
+    ChaosReport,
+    InvariantResult,
+    check_served_map_clean,
+)
 from repro.cluster.client import ClusterMapClient
 from repro.cluster.router import ClusterRouter
 from repro.core.changes import ChangeType
@@ -173,7 +183,7 @@ class ClusterChaosHarness:
 
     # -- entry points ----------------------------------------------------
     def run(self, label: str = "shard") -> ChaosReport:
-        """Drive the faulted stream and certify the four invariants."""
+        """Drive the faulted stream and certify the five invariants."""
         EVENT_LOG.clear()
         w = self.workload
         tracing = w.trace_sample_rate > 0
@@ -426,5 +436,13 @@ class ClusterChaosHarness:
                 f"max submit->ack lag {max_s * 1e3:.1f} ms "
                 f"{'<=' if ok else '>'} bound "
                 f"{self.freshness_bound_s * 1e3:.0f} ms "
-                f"over {count} write(s)"))
+                f"over {count} write(s)", samples=count))
+
+        # 5 -- zero constraint violations served ------------------------
+        # The cluster write path has no quarantine surface of its own
+        # (the verify gate lives in the single-node ingest pipeline each
+        # shard fronts), so here the invariant is certified purely from
+        # the merged served state: a full constraint scan must find no
+        # ERROR in what clients would bootstrap.
+        out.append(check_served_map_clean(merged))
         return out

@@ -38,11 +38,16 @@ Fault-point catalog (wired in :mod:`repro.chaos.harness`):
 ``cluster.shard_crash``     a shard process is killed mid-stream
 ``cluster.slow_shard``      a shard stalls past the router call timeout
 ``cluster.rebalance``       the cluster grows by one shard mid-stream
+``geometry.degenerate_lane``  corrupt patch: near-zero-length, sliver lane
+``geometry.broken_boundary``  corrupt patch: discontinuous boundary chain
+``geometry.orphan_regulatory``  corrupt patch: rule with dangling refs
 ==========================  ==============================================
 
 The ``cluster.*`` points are wired in :mod:`repro.chaos.cluster` (they
 target the sharded :class:`~repro.cluster.router.ClusterRouter` rather
-than the single-node loop).
+than the single-node loop). The ``geometry.*`` points inject malformed
+patches upstream of the :class:`~repro.ingest.verify.VerifyGate`
+(wired in both harnesses); the gate must quarantine every one.
 """
 
 from __future__ import annotations
@@ -70,6 +75,9 @@ SERVE_SPIKE = "serve.spike"
 CLUSTER_SHARD_CRASH = "cluster.shard_crash"
 CLUSTER_SLOW_SHARD = "cluster.slow_shard"
 CLUSTER_REBALANCE = "cluster.rebalance"
+GEOMETRY_DEGENERATE_LANE = "geometry.degenerate_lane"
+GEOMETRY_BROKEN_BOUNDARY = "geometry.broken_boundary"
+GEOMETRY_ORPHAN_REGULATORY = "geometry.orphan_regulatory"
 
 ALL_FAULT_POINTS: Tuple[str, ...] = (
     SENSOR_DROP,
@@ -89,11 +97,16 @@ ALL_FAULT_POINTS: Tuple[str, ...] = (
     CLUSTER_SHARD_CRASH,
     CLUSTER_SLOW_SHARD,
     CLUSTER_REBALANCE,
+    GEOMETRY_DEGENERATE_LANE,
+    GEOMETRY_BROKEN_BOUNDARY,
+    GEOMETRY_ORPHAN_REGULATORY,
 )
 
-#: The six structural fault classes, mapping to the stack layer each
+#: The seven structural fault classes, mapping to the stack layer each
 #: fault point wraps. chaos-bench certifies the invariants per class
-#: (the ``shard`` class runs against the sharded cluster harness).
+#: (the ``shard`` class runs against the sharded cluster harness; the
+#: ``geometry`` class injects corrupt-geometry patches upstream of the
+#: constraint verify gate).
 FAULT_CLASSES: Dict[str, Tuple[str, ...]] = {
     "sensor": (SENSOR_DROP, SENSOR_DUPLICATE, SENSOR_CORRUPT,
                SENSOR_DELAY, SENSOR_CLOCK_SKEW),
@@ -102,6 +115,8 @@ FAULT_CLASSES: Dict[str, Tuple[str, ...]] = {
     "publish": (PUBLISH_TRANSIENT, PUBLISH_CONFLICT),
     "serve": (SERVE_HOT_SHARD, SERVE_INVALIDATION_STORM, SERVE_SPIKE),
     "shard": (CLUSTER_SHARD_CRASH, CLUSTER_SLOW_SHARD, CLUSTER_REBALANCE),
+    "geometry": (GEOMETRY_DEGENERATE_LANE, GEOMETRY_BROKEN_BOUNDARY,
+                 GEOMETRY_ORPHAN_REGULATORY),
 }
 
 
@@ -298,5 +313,13 @@ def curated_matrix(seed: int = 7) -> List[Tuple[str, FaultPlan]]:
                       max_count=1, magnitude=3.0),
             FaultSpec(CLUSTER_REBALANCE, probability=1.0, after=30,
                       max_count=1),
+        ], seed)),
+        ("geometry", FaultPlan([
+            FaultSpec(GEOMETRY_DEGENERATE_LANE, probability=1.0,
+                      max_count=2),
+            FaultSpec(GEOMETRY_BROKEN_BOUNDARY, probability=1.0,
+                      max_count=2),
+            FaultSpec(GEOMETRY_ORPHAN_REGULATORY, probability=1.0,
+                      max_count=2),
         ], seed)),
     ]

@@ -31,6 +31,11 @@ would, plus faults. Where each fault point plugs in:
 - **serve.*** — a request phase against a :class:`MapService` over the
   same database: bursts concentrated on one tile, encoded-memo
   invalidation storms, and admission spikes beyond queue capacity.
+- **geometry.*** — corrupt-geometry patches (degenerate lanes, broken
+  boundary chains, orphaned regulatory elements) pushed straight at the
+  publisher, upstream of nothing but the constraint verify gate; the
+  fifth invariant demands every one in the quarantine store and a
+  constraint-clean served map.
 
 Determinism contract: the whole stream is submitted to the bus *before*
 the stage workers start (the ingest-bench idiom), submission is
@@ -59,6 +64,9 @@ import numpy as np
 from repro.chaos.faults import (
     BUS_LEASE_STORM,
     BUS_SLOW_CONSUMER,
+    GEOMETRY_BROKEN_BOUNDARY,
+    GEOMETRY_DEGENERATE_LANE,
+    GEOMETRY_ORPHAN_REGULATORY,
     PIPELINE_POISON,
     PIPELINE_WORKER_CRASH,
     PUBLISH_CONFLICT,
@@ -74,13 +82,16 @@ from repro.chaos.faults import (
     FaultPlan,
 )
 from repro.chaos.report import ChaosReport, check_invariants
-from repro.core.elements import TrafficSign
+from repro.core.elements import Lane, LaneBoundary, TrafficSign
 from repro.core.hdmap import HDMap
+from repro.core.ids import ElementId
+from repro.core.regulatory import RegulatoryElement, RuleType
 from repro.core.versioning import MapPatch
+from repro.geometry.polyline import Polyline
 from repro.ingest.fleetsource import FleetObservationSource
 from repro.ingest.observation import Observation, ObservationKind
 from repro.ingest.pipeline import IngestPipeline
-from repro.ingest.publisher import TransientPublishError
+from repro.ingest.publisher import ConfirmedPatch, TransientPublishError
 from repro.obs.log import EVENT_LOG
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.api import GetTile, Priority
@@ -174,6 +185,10 @@ class ChaosHarness:
         self.freshness_bound_s = freshness_bound_s
         self.scenario: Optional[Scenario] = None
         self._final_map: Optional[HDMap] = None
+        #: idempotency keys of the corrupt-geometry patches injected by
+        #: the last run; the fifth invariant demands every one of them
+        #: in the quarantine store.
+        self.malformed_keys: List[str] = []
 
     # -- workload construction -----------------------------------------
     def _build_scenario(self) -> Scenario:
@@ -264,6 +279,55 @@ class ChaosHarness:
                 t=0.0))
         return burst
 
+    def _malformed_patch(self, point_name: str, n: int) -> MapPatch:
+        """One deterministic corrupt-geometry patch for ``point_name``.
+
+        Each shape violates a different constraint family — see
+        docs/MAP_QUALITY.md — and every reference it carries is dangling
+        on purpose, so the patch is unambiguously malformed regardless
+        of what the workload has published so far.
+        """
+        x = 10_000.0 + 100.0 * n  # far from any generated geometry
+        patch = MapPatch(source=f"chaos:{point_name}", confidence=0.9)
+        if point_name == GEOMETRY_DEGENERATE_LANE:
+            patch.add(Lane(
+                id=ElementId("lane", 990_000 + n),
+                centerline=Polyline(np.array([[x, 0.0], [x + 0.2, 0.0]])),
+                left_boundary=ElementId("boundary", 990_000 + n),
+                right_boundary=ElementId("boundary", 991_000 + n),
+                width=0.4, speed_limit=13.9))
+        elif point_name == GEOMETRY_BROKEN_BOUNDARY:
+            patch.add(LaneBoundary(
+                id=ElementId("boundary", 992_000 + n),
+                line=Polyline(np.array([[x, 0.0], [x + 60.0, 0.0],
+                                        [x + 1.0, 0.05]])),
+                boundary_type="solid"))
+        else:  # GEOMETRY_ORPHAN_REGULATORY
+            patch.add(RegulatoryElement(
+                id=ElementId("regulatory", 993_000 + n),
+                rule_type=RuleType.SPEED_LIMIT, lanes=(),
+                evidence=(ElementId("sign", 993_000 + n),), value=99.0))
+        return patch
+
+    def _geometry_flood(self, pipe: IngestPipeline, vehicle: str) -> int:
+        """Corrupt-geometry patches pushed straight at the publisher —
+        upstream of nothing but the verify gate itself, which must
+        quarantine every one. Returns how many were injected."""
+        injected = 0
+        for point_name in (GEOMETRY_DEGENERATE_LANE,
+                           GEOMETRY_BROKEN_BOUNDARY,
+                           GEOMETRY_ORPHAN_REGULATORY):
+            point = self.plan.point(point_name)
+            if not point.roll(vehicle):
+                continue
+            n = len(self.malformed_keys)
+            key = f"chaos:{point_name}:{n}"
+            self.malformed_keys.append(key)
+            pipe.publisher.publish(ConfirmedPatch(
+                key=key, patch=self._malformed_patch(point_name, n)))
+            injected += 1
+        return injected
+
     def _conflict_target(self, scenario: Scenario) -> Optional[TrafficSign]:
         """A prior sign the scenario did not touch — safe for the rogue
         writer to churn without masking real injected changes."""
@@ -331,6 +395,7 @@ class ChaosHarness:
             poison_seq += self._poison_burst(pipe, vehicle, anchor,
                                              poison_seq)
             self._conflict_flood(server, scenario, vehicle)
+            self._geometry_flood(pipe, vehicle)
 
     def _serve_phase(self, server: MapDistributionServer,
                      scenario: Scenario) -> Tuple[Dict[str, object], int]:
@@ -398,6 +463,7 @@ class ChaosHarness:
         """Drive the full faulted workload and certify the invariants."""
         EVENT_LOG.clear()
         t_start = time.perf_counter()
+        self.malformed_keys = []
         scenario = self._build_scenario()
         server = MapDistributionServer(scenario.prior.copy())
         base_version = server.version
@@ -422,7 +488,8 @@ class ChaosHarness:
             pipe, server, base_version, EVENT_LOG.events(),
             freshness_bound_s=self.freshness_bound_s,
             crash_fired=self.plan.point(PIPELINE_WORKER_CRASH).fired,
-            serve_version_regressions=regressions)
+            serve_version_regressions=regressions,
+            malformed_keys=self.malformed_keys)
         self._final_map = server.snapshot()
         return ChaosReport(
             fault_class=label, plan=self.plan.describe(),

@@ -1,7 +1,7 @@
 """`ChaosReport`: invariant certification over a chaos run.
 
 The harness runs a faulted workload; this module decides whether the
-stack *degraded* or *broke*. Four invariants must hold under every fault
+stack *degraded* or *broke*. Five invariants must hold under every fault
 class, checked from the run's observable surfaces — the
 :mod:`repro.obs` event stream, the metrics counters, and the
 authoritative change log — never from harness-private bookkeeping:
@@ -30,6 +30,17 @@ authoritative change log — never from harness-private bookkeeping:
    maximum stays under the fault class's bound. Holds because
    backpressure (bounded queues + shed-oldest) prevents unbounded
    queueing and retry backoff is capped by the attempt budget.
+
+5. **Zero constraint violations served** — a full
+   :class:`~repro.core.validation.ConstraintEngine` scan of the final
+   served map finds no ERROR-severity violation, and every injected
+   malformed patch is present in the quarantine store with a
+   ``patch_quarantined`` event. Holds because the verify gate sits
+   between fuse and publish on *both* entry paths (pipeline stage and
+   publisher backstop), so a corrupt-geometry patch has no route into
+   the database. An invariant with zero samples (no malformed patches
+   injected *and* nothing scanned) renders as vacuous, never as a
+   misleading PASS.
 """
 
 from __future__ import annotations
@@ -44,10 +55,18 @@ class InvariantResult:
     name: str
     ok: bool
     detail: str
+    #: How many samples the verdict rests on (scanned elements, injected
+    #: faults, published patches …). ``None`` means the invariant
+    #: predates sample accounting; 0 means the invariant class was never
+    #: exercised this run — it renders as ``ok (vacuous)`` rather than a
+    #: plain PASS, so an unexercised gate can't masquerade as a green one.
+    samples: Optional[int] = None
 
     def __str__(self) -> str:
-        return f"[{'ok' if self.ok else 'VIOLATED'}] {self.name}: " \
-               f"{self.detail}"
+        verdict = "ok" if self.ok else "VIOLATED"
+        if self.ok and self.samples == 0:
+            verdict = "ok (vacuous)"
+        return f"[{verdict}] {self.name}: {self.detail}"
 
 
 @dataclass
@@ -80,6 +99,19 @@ class ChaosReport:
                 f"trace(s) (fault_injected landed inside them), "
                 f"{self.stats.get('harvested_spans', 0)} harvested "
                 f"span(s)")
+        verify = self.stats.get("verify")
+        if isinstance(verify, dict):
+            checked = int(verify.get("checked", 0))
+            if checked > 0:
+                quarantined = int(verify.get("quarantined", 0))
+                lines.append(
+                    f"  verify: {checked} patch(es) checked, "
+                    f"{quarantined} quarantined "
+                    f"({quarantined / checked * 100.0:.0f}%), "
+                    f"{verify.get('violations', 0)} violation(s)")
+            else:
+                lines.append("  verify: gate unexercised (0 patches "
+                             "checked)")
         for result in self.invariants:
             lines.append(f"  {result}")
         return "\n".join(lines)
@@ -93,9 +125,14 @@ def check_invariants(pipe, server, base_version: int,
                      events: List[Dict[str, object]],
                      freshness_bound_s: float = 30.0,
                      crash_fired: int = 0,
-                     serve_version_regressions: int = 0
+                     serve_version_regressions: int = 0,
+                     malformed_keys: Optional[List[str]] = None
                      ) -> List[InvariantResult]:
-    """Evaluate the four invariants against one drained pipeline run.
+    """Evaluate the five invariants against one drained pipeline run.
+
+    ``malformed_keys`` are the idempotency keys of corrupt-geometry
+    patches the harness injected upstream of the verify gate; each must
+    turn up in the quarantine store, never in the served map.
 
     ``pipe`` is the :class:`~repro.ingest.pipeline.IngestPipeline` after
     ``stop()``, ``server`` the real (unproxied)
@@ -202,5 +239,68 @@ def check_invariants(pipe, server, base_version: int,
             "freshness_lag_bounded", ok,
             f"max lag {max_s * 1e3:.1f} ms "
             f"{'<=' if ok else '>'} bound {freshness_bound_s * 1e3:.0f} ms "
-            f"over {count} patch(es)"))
+            f"over {count} patch(es)", samples=count))
+
+    # 5 -- zero constraint violations served --------------------------
+    out.append(check_served_map_clean(
+        server.snapshot(),
+        gate=getattr(pipe, "verify_gate", None),
+        events=events,
+        malformed_keys=malformed_keys))
     return out
+
+
+def check_served_map_clean(served_map, gate=None,
+                           events: Optional[List[Dict[str, object]]] = None,
+                           malformed_keys: Optional[List[str]] = None
+                           ) -> InvariantResult:
+    """The fifth invariant: **zero constraint violations served**.
+
+    A full :class:`~repro.core.validation.ConstraintEngine` scan of the
+    served map must find no ERROR; when the harness injected malformed
+    patches (``malformed_keys``), every one must appear in the
+    quarantine store with a matching ``patch_quarantined`` event.
+    ``samples`` is the injected-malformed count when known (so a run
+    that never exercised the gate renders vacuous), else the number of
+    elements scanned.
+    """
+    from repro.core.validation import ConstraintEngine
+
+    report = ConstraintEngine().check_map(served_map)
+    problems = []
+    if report.errors:
+        worst = "; ".join(str(v) for v in report.errors[:3])
+        problems.append(f"{len(report.errors)} constraint error(s) in the "
+                        f"served map: {worst}")
+    quarantined = 0
+    if gate is not None:
+        store = gate.quarantine
+        quarantined = len(store)
+        missing = [key for key in (malformed_keys or []) if key not in store]
+        if missing:
+            problems.append(f"{len(missing)} injected malformed patch(es) "
+                            f"missing from quarantine: {missing[:3]}")
+        if events is not None:
+            q_events = _count_events(events, "patch_quarantined")
+            if q_events < quarantined:
+                problems.append(f"{quarantined} quarantined patch(es) but "
+                                f"only {q_events} patch_quarantined "
+                                f"event(s)")
+    elif malformed_keys:
+        problems.append(f"{len(malformed_keys)} malformed patch(es) "
+                        f"injected but the pipeline has no verify gate")
+    # Sample basis: injected malformed patches when the harness injected
+    # any (the gate was directly exercised), else the elements scanned —
+    # only a run that neither injected nor scanned anything is vacuous.
+    samples = len(malformed_keys) if malformed_keys else report.checked
+    if problems:
+        detail = "; ".join(problems)
+    elif malformed_keys:
+        detail = (f"served map clean ({report.checked} element(s) "
+                  f"scanned), {quarantined} quarantined, "
+                  f"{len(malformed_keys)} injected malformed")
+    else:
+        detail = (f"served map clean ({report.checked} element(s) "
+                  f"scanned), no malformed injection this run")
+    return InvariantResult("zero_constraint_violations_served",
+                           not problems, detail, samples=samples)

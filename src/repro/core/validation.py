@@ -1,24 +1,49 @@
-"""Map integrity validation.
+"""Map integrity validation and the reference-free constraint engine.
 
 The survey notes that "satisfying the basic needs cannot ensure the quality
 of HD maps" [3] — creation pipelines make mistakes, so a map is checked
-before publication. ``validate_map`` runs every registered check and
-returns a list of :class:`ValidationIssue`; ``raise_on_error=True`` turns
-errors into :class:`~repro.errors.MapValidationError`.
+before publication. Two layers live here:
+
+- the original whole-map checks: ``validate_map`` runs every registered
+  check and returns a list of :class:`ValidationIssue`;
+  ``raise_on_error=True`` turns errors into
+  :class:`~repro.errors.MapValidationError`;
+- :class:`ConstraintEngine`, the *reference-free constraint* layer in the
+  spirit of the geo-data-driven verification workflow (PAPERS.md): maps
+  and patches are validated against internal consistency constraints —
+  no ground truth required. Five named constraints
+  (:data:`ALL_CONSTRAINTS`) each yield structured
+  :class:`ConstraintViolation` records with element ids and severities;
+  ERROR-severity violations are what the online publish gate in
+  :mod:`repro.ingest.verify` quarantines on. ``check_map`` scans a whole
+  map; ``check_patch`` scopes the scan to the elements a
+  :class:`~repro.core.versioning.MapPatch` touches (plus their direct
+  references), which is what keeps the gate's added publish latency
+  bounded.
+
+Thresholds are calibrated so every map the :mod:`repro.world` generators
+produce is constraint-clean — the engine flags corruption, not style.
+``docs/MAP_QUALITY.md`` is the operator-facing catalog of each
+constraint's rule, rationale, thresholds, and metric names.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Set
 
 import numpy as np
 
-from repro.core.elements import Lane, LaneBoundary, RoadSegment
+from repro.core.elements import Lane, LaneBoundary, MapElement, PointLandmark, RoadSegment
 from repro.core.hdmap import HDMap
 from repro.core.ids import ElementId
+from repro.core.regulatory import RegulatoryElement, RuleType
+from repro.core.versioning import AddElement, MapPatch, RemoveElement, ReplaceElement
 from repro.errors import MapValidationError
+
+_isfinite = math.isfinite  # bound once: used per published patch
 
 
 class Severity(enum.Enum):
@@ -192,3 +217,502 @@ def validate_map(hdmap: HDMap, raise_on_error: bool = False) -> List[ValidationI
                 f"{len(errors)} validation error(s): {summary}"
             )
     return issues
+
+
+# ---------------------------------------------------------------------------
+# Reference-free constraint engine (the online publish gate's brain)
+# ---------------------------------------------------------------------------
+
+#: Canonical constraint names — also the metric suffixes under
+#: ``ingest.verify.constraint.<name>`` and the catalog keys in
+#: docs/MAP_QUALITY.md.
+C_LANE_WIDTH = "lane_width"
+C_BOUNDARY_CONTINUITY = "boundary_continuity"
+C_TOPOLOGY_REACHABILITY = "topology_reachability"
+C_REGULATORY_ATTACHMENT = "regulatory_attachment"
+C_LAYER_AGREEMENT = "layer_agreement"
+
+ALL_CONSTRAINTS = (
+    C_LANE_WIDTH,
+    C_BOUNDARY_CONTINUITY,
+    C_TOPOLOGY_REACHABILITY,
+    C_REGULATORY_ATTACHMENT,
+    C_LAYER_AGREEMENT,
+)
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One constraint breach, attributable to one element."""
+
+    constraint: str
+    severity: Severity
+    element_id: Optional[ElementId]
+    message: str
+
+    def __str__(self) -> str:
+        where = f" [{self.element_id}]" if self.element_id else ""
+        return (f"{self.severity.value}:{self.constraint}{where}: "
+                f"{self.message}")
+
+    def as_dict(self) -> Dict[str, str]:
+        """JSON-serializable form (quarantine journal records)."""
+        return {
+            "constraint": self.constraint,
+            "severity": self.severity.value,
+            "element_id": str(self.element_id) if self.element_id else "",
+            "message": self.message,
+        }
+
+
+@dataclass
+class ConstraintReport:
+    """Consolidated outcome of one ``check_map``/``check_patch`` run.
+
+    A multi-violation patch produces exactly one report; ``ok`` is the
+    gate decision (no ERROR-severity violation — warnings inform but
+    never block).
+    """
+
+    violations: List[ConstraintViolation] = field(default_factory=list)
+    checked: int = 0  # elements examined
+
+    @property
+    def errors(self) -> List[ConstraintViolation]:
+        return [v for v in self.violations
+                if v.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[ConstraintViolation]:
+        return [v for v in self.violations
+                if v.severity is Severity.WARNING]
+
+    def ok(self) -> bool:
+        return not self.errors
+
+    def counts(self) -> Dict[str, int]:
+        """Violations per constraint name (zero-count names omitted)."""
+        out: Dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.constraint] = out.get(violation.constraint, 0) + 1
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "checked": self.checked,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def summary(self) -> str:
+        if not self.violations:
+            return f"clean ({self.checked} element(s) checked)"
+        parts = ", ".join(f"{name}={n}"
+                          for name, n in sorted(self.counts().items()))
+        return (f"{len(self.errors)} error(s), {len(self.warnings)} "
+                f"warning(s) over {self.checked} element(s): {parts}")
+
+
+#: Shared result for the clean single-op patch fast path: reports are
+#: read-only after construction, so every clean add can return the same
+#: instance without a per-patch allocation.
+_CLEAN_SINGLE_OP = ConstraintReport([], 1)
+
+
+class _PatchView:
+    """Reference resolution over ``base`` as if a patch were applied.
+
+    Only the mapping protocol the constraints use (``get`` /
+    ``__contains__``) — never materializes a map copy, which is what
+    keeps ``check_patch`` O(patch), not O(map).
+    """
+
+    def __init__(self, base: HDMap, overlay: Dict[ElementId, MapElement],
+                 removed: Set[ElementId]) -> None:
+        self._base = base
+        self._overlay = overlay
+        self._removed = removed
+
+    def __contains__(self, element_id: ElementId) -> bool:
+        if element_id in self._overlay:
+            return True
+        if element_id in self._removed:
+            return False
+        return element_id in self._base
+
+    def get(self, element_id: ElementId) -> Optional[MapElement]:
+        element = self._overlay.get(element_id)
+        if element is not None:
+            return element
+        if element_id in self._removed:
+            return None
+        try:
+            return self._base.get(element_id)
+        except Exception:
+            return None
+
+
+def _finite_points(points: np.ndarray) -> bool:
+    return bool(np.isfinite(np.asarray(points, dtype=float)).all())
+
+
+class ConstraintEngine:
+    """Reference-free constraint checks over maps and patches.
+
+    Every threshold is a constructor knob so operators can tighten or
+    relax the gate per deployment; the defaults are calibrated against
+    the :mod:`repro.world` generators (see docs/MAP_QUALITY.md for the
+    rationale behind each number).
+    """
+
+    def __init__(self,
+                 min_lane_width: float = MIN_LANE_WIDTH,
+                 max_lane_width: float = MAX_LANE_WIDTH,
+                 min_lane_length_m: float = 1.0,
+                 min_boundary_length_m: float = 1.0,
+                 max_boundary_gap_m: float = 50.0,
+                 boundary_reversal_deg: float = 150.0,
+                 max_boundary_offset_widths: float = 2.0,
+                 min_boundary_offset_widths: float = 0.05,
+                 max_speed_limit: float = MAX_SPEED_LIMIT) -> None:
+        self.min_lane_width = min_lane_width
+        self.max_lane_width = max_lane_width
+        self.min_lane_length_m = min_lane_length_m
+        self.min_boundary_length_m = min_boundary_length_m
+        self.max_boundary_gap_m = max_boundary_gap_m
+        self.boundary_reversal_deg = boundary_reversal_deg
+        self.max_boundary_offset_widths = max_boundary_offset_widths
+        self.min_boundary_offset_widths = min_boundary_offset_widths
+        self.max_speed_limit = max_speed_limit
+
+    # -- per-constraint checks (view is HDMap or _PatchView) ------------
+    def _lane_width(self, lane: Lane) -> Iterator[ConstraintViolation]:
+        """Physical plausibility of a lane's own geometry. Bounds are
+        inclusive: a width exactly at min/max passes."""
+        width = float(lane.width)
+        if not math.isfinite(width) or \
+                not (self.min_lane_width <= width <= self.max_lane_width):
+            yield ConstraintViolation(
+                C_LANE_WIDTH, Severity.ERROR, lane.id,
+                f"lane width {width:.2f} m outside "
+                f"[{self.min_lane_width:g}, {self.max_lane_width:g}] m")
+        if lane.centerline is None:
+            yield ConstraintViolation(
+                C_LANE_WIDTH, Severity.ERROR, lane.id,
+                "lane has no centerline")
+            return
+        if not _finite_points(lane.centerline.points):
+            yield ConstraintViolation(
+                C_LANE_WIDTH, Severity.ERROR, lane.id,
+                "centerline has non-finite coordinates")
+        elif lane.centerline.length < self.min_lane_length_m:
+            yield ConstraintViolation(
+                C_LANE_WIDTH, Severity.ERROR, lane.id,
+                f"degenerate lane: centerline {lane.centerline.length:.3f} "
+                f"m < {self.min_lane_length_m:g} m")
+
+    def _boundary_continuity(self, boundary: LaneBoundary
+                             ) -> Iterator[ConstraintViolation]:
+        """A boundary must be one continuous, forward-running chain."""
+        if boundary.line is None:
+            yield ConstraintViolation(
+                C_BOUNDARY_CONTINUITY, Severity.ERROR, boundary.id,
+                "boundary has no geometry")
+            return
+        points = np.asarray(boundary.line.points, dtype=float)
+        if not _finite_points(points):
+            yield ConstraintViolation(
+                C_BOUNDARY_CONTINUITY, Severity.ERROR, boundary.id,
+                "boundary has non-finite coordinates")
+            return
+        if boundary.line.length < self.min_boundary_length_m:
+            yield ConstraintViolation(
+                C_BOUNDARY_CONTINUITY, Severity.ERROR, boundary.id,
+                f"zero-length boundary ({boundary.line.length:.3f} m < "
+                f"{self.min_boundary_length_m:g} m)")
+            return
+        seg = np.diff(points, axis=0)
+        seg_len = np.hypot(seg[:, 0], seg[:, 1])
+        worst_gap = float(seg_len.max())
+        if worst_gap > self.max_boundary_gap_m:
+            yield ConstraintViolation(
+                C_BOUNDARY_CONTINUITY, Severity.ERROR, boundary.id,
+                f"broken chain: {worst_gap:.1f} m jump between "
+                f"consecutive vertices (> {self.max_boundary_gap_m:g} m)")
+        if len(seg) > 1:
+            # A chain stitched from mismatched pieces doubles back on
+            # itself; legitimate boundaries never reverse heading by
+            # more than ``boundary_reversal_deg`` between segments.
+            cos_limit = math.cos(math.radians(self.boundary_reversal_deg))
+            dots = (seg[:-1] * seg[1:]).sum(axis=1) / \
+                (seg_len[:-1] * seg_len[1:])
+            if float(dots.min()) < cos_limit:
+                angle = math.degrees(math.acos(
+                    max(-1.0, min(1.0, float(dots.min())))))
+                yield ConstraintViolation(
+                    C_BOUNDARY_CONTINUITY, Severity.ERROR, boundary.id,
+                    f"broken chain: heading reverses {angle:.0f} deg "
+                    f"(> {self.boundary_reversal_deg:g} deg) mid-boundary")
+
+    def _topology_references(self, view, lane: Lane
+                             ) -> Iterator[ConstraintViolation]:
+        """A lane's references must resolve or the network is unroutable."""
+        for ref, label in ((lane.left_boundary, "left_boundary"),
+                           (lane.right_boundary, "right_boundary"),
+                           (lane.segment, "segment")):
+            if ref is not None and ref not in view:
+                yield ConstraintViolation(
+                    C_TOPOLOGY_REACHABILITY, Severity.ERROR, lane.id,
+                    f"{label} {ref} does not resolve")
+
+    def _topology_segment(self, view, segment: RoadSegment
+                          ) -> Iterator[ConstraintViolation]:
+        for lane_id in list(segment.forward_lanes) + \
+                list(segment.backward_lanes):
+            if lane_id not in view:
+                yield ConstraintViolation(
+                    C_TOPOLOGY_REACHABILITY, Severity.ERROR, segment.id,
+                    f"bundle references missing lane {lane_id}")
+        for node_ref in (segment.start_node, segment.end_node):
+            if node_ref is not None and node_ref not in view:
+                yield ConstraintViolation(
+                    C_TOPOLOGY_REACHABILITY, Severity.ERROR, segment.id,
+                    f"missing node {node_ref}")
+
+    def _regulatory_attachment(self, view, rule: RegulatoryElement
+                               ) -> Iterator[ConstraintViolation]:
+        """Rules must govern at least one real lane and cite real
+        evidence — an orphaned rule is undecidable for a planner."""
+        if not rule.lanes:
+            yield ConstraintViolation(
+                C_REGULATORY_ATTACHMENT, Severity.ERROR, rule.id,
+                "orphaned regulatory element: governs no lanes")
+        for lane_id in rule.lanes:
+            if lane_id not in view:
+                yield ConstraintViolation(
+                    C_REGULATORY_ATTACHMENT, Severity.ERROR, rule.id,
+                    f"rule governs missing lane {lane_id}")
+        for ev in rule.evidence:
+            if ev not in view:
+                yield ConstraintViolation(
+                    C_REGULATORY_ATTACHMENT, Severity.ERROR, rule.id,
+                    f"rule cites missing evidence {ev}")
+
+    def _layer_agreement(self, view, lane: Lane
+                         ) -> Iterator[ConstraintViolation]:
+        """The physical layer (boundaries) must agree with the
+        relational layer (the lane that binds them)."""
+        speed = float(lane.speed_limit)
+        if not math.isfinite(speed) or \
+                not (0.0 < speed <= self.max_speed_limit):
+            yield ConstraintViolation(
+                C_LAYER_AGREEMENT, Severity.ERROR, lane.id,
+                f"implausible speed limit {speed:.1f} m/s")
+        if lane.centerline is None or \
+                not _finite_points(lane.centerline.points) or \
+                lane.centerline.length <= 0.0 or \
+                not math.isfinite(float(lane.width)) or lane.width <= 0.0:
+            return  # geometry already condemned by lane_width
+        mid = lane.centerline.point_at(lane.centerline.length / 2.0)
+        for ref, expect_left in ((lane.left_boundary, True),
+                                 (lane.right_boundary, False)):
+            if ref is None or ref not in view:
+                continue  # dangling refs are topology's finding
+            boundary = view.get(ref)
+            if not isinstance(boundary, LaneBoundary):
+                yield ConstraintViolation(
+                    C_LAYER_AGREEMENT, Severity.ERROR, lane.id,
+                    f"{ref} is not a LaneBoundary")
+                continue
+            if boundary.line is None or \
+                    not _finite_points(boundary.line.points):
+                continue  # condemned by boundary_continuity
+            mid_b = boundary.line.point_at(boundary.line.length / 2.0)
+            _, lateral = lane.centerline.project(mid_b)
+            offset_widths = abs(lateral) / float(lane.width)
+            if offset_widths > self.max_boundary_offset_widths:
+                yield ConstraintViolation(
+                    C_LAYER_AGREEMENT, Severity.ERROR, lane.id,
+                    f"boundary {ref} sits {abs(lateral):.1f} m off the "
+                    f"centerline ({offset_widths:.1f} widths > "
+                    f"{self.max_boundary_offset_widths:g})")
+            elif offset_widths < self.min_boundary_offset_widths:
+                yield ConstraintViolation(
+                    C_LAYER_AGREEMENT, Severity.ERROR, lane.id,
+                    f"boundary {ref} collapsed onto the centerline "
+                    f"({abs(lateral):.2f} m lateral offset)")
+            elif (expect_left and lateral < 0) or \
+                    (not expect_left and lateral > 0):
+                side = "left" if expect_left else "right"
+                yield ConstraintViolation(
+                    C_LAYER_AGREEMENT, Severity.WARNING, lane.id,
+                    f"{side} boundary {ref} lies on the wrong side of "
+                    f"the centerline")
+        rule_for_lane = getattr(lane, "speed_rule", None)
+        if rule_for_lane is not None:  # pragma: no cover - future layers
+            pass
+
+    def _point_landmark(self, landmark: PointLandmark
+                        ) -> List[ConstraintViolation]:
+        # Pure-python on purpose: this is the publish hot path (every
+        # sign add the pipeline emits), and numpy round-trips on a
+        # 2-vector cost more than the whole remaining gate. Indexing
+        # beats iteration/unpacking on ndarray positions; isfinite
+        # rejects NaN/inf (and, via TypeError, anything non-numeric).
+        position = landmark.position
+        try:
+            valid = len(position) == 2 and \
+                _isfinite(position[0]) and _isfinite(position[1])
+        except (TypeError, ValueError, IndexError):
+            valid = False
+        if valid:
+            return []
+        return [ConstraintViolation(
+            C_LAYER_AGREEMENT, Severity.ERROR, landmark.id,
+            "landmark position is not a finite 2-D point")]
+
+    def _regulatory_value(self, view, rule: RegulatoryElement
+                          ) -> Iterator[ConstraintViolation]:
+        """SPEED_LIMIT rules should roughly agree with their lanes."""
+        if rule.rule_type is not RuleType.SPEED_LIMIT or rule.value is None:
+            return
+        value = float(rule.value)
+        if not math.isfinite(value) or \
+                not (0.0 < value <= self.max_speed_limit):
+            yield ConstraintViolation(
+                C_LAYER_AGREEMENT, Severity.ERROR, rule.id,
+                f"speed-limit rule posts implausible {value:.1f} m/s")
+
+    # -- element dispatch -----------------------------------------------
+    def _check_element(self, view, element: MapElement
+                       ) -> List[ConstraintViolation]:
+        # PointLandmark first: signs are what the ingest pipeline emits,
+        # so this branch is the publish hot path.
+        if isinstance(element, PointLandmark):
+            return self._point_landmark(element)
+        out: List[ConstraintViolation] = []
+        if isinstance(element, Lane):
+            out.extend(self._lane_width(element))
+            out.extend(self._topology_references(view, element))
+            out.extend(self._layer_agreement(view, element))
+        elif isinstance(element, LaneBoundary):
+            out.extend(self._boundary_continuity(element))
+        elif isinstance(element, RoadSegment):
+            out.extend(self._topology_segment(view, element))
+        elif isinstance(element, RegulatoryElement):
+            out.extend(self._regulatory_attachment(view, element))
+            out.extend(self._regulatory_value(view, element))
+        return out
+
+    def _check_removal(self, view, base: HDMap, element_id: ElementId
+                       ) -> List[ConstraintViolation]:
+        """A removal must not leave dangling references behind.
+
+        The scan is scoped by the removed element's kind: removing a
+        point landmark only needs the (small) regulatory layer checked,
+        so ingest's sign removals stay O(rules), not O(map).
+        """
+        out: List[ConstraintViolation] = []
+        kind = element_id.kind
+        if kind == "lane":
+            for segment in base.segments():
+                if element_id in segment.forward_lanes or \
+                        element_id in segment.backward_lanes:
+                    out.append(ConstraintViolation(
+                        C_TOPOLOGY_REACHABILITY, Severity.ERROR,
+                        element_id,
+                        f"removal orphans segment {segment.id} bundle"))
+        elif kind == "boundary":
+            for lane in base.lanes():
+                if element_id in (lane.left_boundary, lane.right_boundary):
+                    out.append(ConstraintViolation(
+                        C_TOPOLOGY_REACHABILITY, Severity.ERROR,
+                        element_id,
+                        f"removal dangles boundary ref of lane {lane.id}"))
+        for rule in base.regulatory_elements():
+            if element_id in rule.lanes:
+                out.append(ConstraintViolation(
+                    C_REGULATORY_ATTACHMENT, Severity.ERROR, element_id,
+                    f"removal orphans rule {rule.id} (governed lane)"))
+            elif element_id in rule.evidence:
+                out.append(ConstraintViolation(
+                    C_REGULATORY_ATTACHMENT, Severity.WARNING, element_id,
+                    f"removal drops evidence of rule {rule.id}"))
+        return out
+
+    # -- entry points -----------------------------------------------------
+    def check_map(self, hdmap: HDMap) -> ConstraintReport:
+        """Scan every element; adds isolation warnings the patch path
+        cannot know about (they need whole-map topology)."""
+        violations: List[ConstraintViolation] = []
+        checked = 0
+        for element in hdmap.elements():
+            checked += 1
+            violations.extend(self._check_element(hdmap, element))
+        # Reachability over the derived topology: an interior island in
+        # an otherwise-connected network is suspicious, but maps whose
+        # lanes are *all* unconnected (a highway of parallel carriageways,
+        # a factory floor) are legitimately connection-free.
+        lanes = list(hdmap.lanes())
+        connected = sum(1 for lane in lanes
+                        if hdmap.successors(lane.id)
+                        or hdmap.predecessors(lane.id))
+        if connected:
+            for lane in lanes:
+                if not hdmap.successors(lane.id) and \
+                        not hdmap.predecessors(lane.id):
+                    violations.append(ConstraintViolation(
+                        C_TOPOLOGY_REACHABILITY, Severity.WARNING, lane.id,
+                        "lane is unreachable from the rest of the network"))
+        return ConstraintReport(violations, checked)
+
+    def check_patch(self, hdmap: HDMap, patch: MapPatch) -> ConstraintReport:
+        """Scoped scan of one patch against a base map.
+
+        All violations across all ops land in one consolidated report;
+        the base map is never mutated.
+        """
+        ops = patch.ops
+        if len(ops) == 1 and type(ops[0]) is AddElement:
+            # Single-add fast path (the pipeline's sign emissions):
+            # the base map alone resolves every reference, exactly as
+            # check_map does, so the overlay/view machinery is skipped.
+            element = ops[0].element
+            if isinstance(element, PointLandmark):
+                # The landmark check inlined (see _point_landmark):
+                # clean sign adds resolve here without another frame,
+                # a violations list, or a fresh report.
+                position = element.position
+                try:
+                    if len(position) == 2 and _isfinite(position[0]) \
+                            and _isfinite(position[1]):
+                        return _CLEAN_SINGLE_OP
+                except (TypeError, ValueError, IndexError):
+                    pass
+                return ConstraintReport(self._point_landmark(element), 1)
+            violations = self._check_element(hdmap, element)
+            if not violations:
+                # Shared clean report: nothing downstream mutates a
+                # report, so one instance serves every clean add.
+                return _CLEAN_SINGLE_OP
+            return ConstraintReport(violations, 1)
+        overlay: Dict[ElementId, MapElement] = {}
+        removed: Set[ElementId] = set()
+        for op in patch.ops:
+            if isinstance(op, (AddElement, ReplaceElement)):
+                overlay[op.element.id] = op.element
+                removed.discard(op.element.id)
+            elif isinstance(op, RemoveElement):
+                removed.add(op.element_id)
+                overlay.pop(op.element_id, None)
+        view = _PatchView(hdmap, overlay, removed)
+        violations: List[ConstraintViolation] = []
+        checked = 0
+        for element in overlay.values():
+            checked += 1
+            violations.extend(self._check_element(view, element))
+        for element_id in removed:
+            checked += 1
+            violations.extend(self._check_removal(view, hdmap, element_id))
+        return ConstraintReport(violations, checked)

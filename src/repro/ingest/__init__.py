@@ -19,6 +19,10 @@ concurrent path between them:
   retrying :class:`TransientPublishError` with exponential backoff;
 - :mod:`repro.ingest.pipeline` — :class:`IngestPipeline`: supervised
   stage workers, retry with exponential backoff, a dead-letter queue;
+- :mod:`repro.ingest.verify` — :class:`VerifyGate` /
+  :class:`QuarantineStore`: the mandatory reference-free constraint
+  gate between fuse and publish; violating patches are journaled with
+  a structured report, never published (see docs/MAP_QUALITY.md);
 - :mod:`repro.ingest.breaker` — :class:`CircuitBreaker` per pipeline
   stage (closed -> open -> half-open), failing fast via
   :class:`StageCircuitOpen` while a stage is sick;
@@ -56,7 +60,9 @@ from repro.ingest.stages import (
     Stage,
     TileState,
     ValidateStage,
+    VerifyStage,
 )
+from repro.ingest.verify import QuarantineStore, VerifyGate
 
 __all__ = [
     "AssociateStage",
@@ -77,10 +83,13 @@ __all__ = [
     "ObservationKind",
     "PatchPublisher",
     "PublishResult",
+    "QuarantineStore",
     "SourceReport",
     "Stage",
     "StageCircuitOpen",
     "TileState",
     "TransientPublishError",
     "ValidateStage",
+    "VerifyGate",
+    "VerifyStage",
 ]

@@ -23,10 +23,12 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.validation import ALL_CONSTRAINTS
 from repro.obs.metrics import (  # noqa: F401  (compatibility re-exports)
     FRESHNESS_BOUNDS,
     Counter,
     Gauge,
+    HotCounter,
     LatencyHistogram,
     MetricsRegistry,
 )
@@ -58,6 +60,23 @@ class IngestMetrics:
         self.patches_conflicted = Counter()
         self.publish_retries = Counter()
         self.publish_failures = Counter()
+        # verify gate (see repro.ingest.verify) — the per-constraint
+        # counters are pre-seeded from the canonical catalog so every
+        # ``ingest.verify.constraint.<name>`` series exists from boot,
+        # violations or not (dashboards and check_docs rely on this).
+        # checked and passed are bumped on every clean publish — the
+        # gate's hot path — so they are lock-free (see HotCounter and
+        # verify_mark_clean()).
+        self.verify_checked = HotCounter()
+        self.verify_passed = HotCounter()
+        self._verify_checked_next = self.verify_checked._count.__next__
+        self._verify_passed_next = self.verify_passed._count.__next__
+        self.verify_quarantined = Counter()
+        self.verify_violations = Counter()
+        self.verify_constraint: Dict[str, Counter] = {
+            name: Counter() for name in ALL_CONSTRAINTS
+        }
+        self.quarantine_depth = Gauge()
         # per-stage circuit breakers (see repro.ingest.breaker)
         self.breaker_opens = Counter()
         self.breaker_fast_failures = Counter()
@@ -98,6 +117,16 @@ class IngestMetrics:
 
     def record_freshness(self, lag_s: float) -> None:
         self.freshness.record(lag_s)
+
+    def verify_mark_clean(self) -> None:
+        """Count one clean verify decision (checked + passed).
+
+        Publish hot path: two pre-bound lock-free increments (see
+        :class:`~repro.obs.metrics.HotCounter`), no lock, no attribute
+        chains.
+        """
+        self._verify_checked_next()
+        self._verify_passed_next()
 
     def depth_gauge(self, partition: int) -> Gauge:
         with self._lock:
@@ -140,6 +169,15 @@ class IngestMetrics:
                 "publish_retries": self.publish_retries.value,
                 "publish_failures": self.publish_failures.value,
             },
+            "verify": {
+                "checked": self.verify_checked.value,
+                "passed": self.verify_passed.value,
+                "quarantined": self.verify_quarantined.value,
+                "violations": self.verify_violations.value,
+                "quarantine_depth": self.quarantine_depth.value,
+                "by_constraint": {name: c.value for name, c in
+                                  sorted(self.verify_constraint.items())},
+            },
             "breaker": {
                 "opens": self.breaker_opens.value,
                 "fast_failures": self.breaker_fast_failures.value,
@@ -178,6 +216,16 @@ class IngestMetrics:
                           self.publish_retries)
         registry.register(f"{prefix}.patches.publish_failures",
                           self.publish_failures)
+        registry.register(f"{prefix}.verify.checked", self.verify_checked)
+        registry.register(f"{prefix}.verify.passed", self.verify_passed)
+        registry.register(f"{prefix}.verify.quarantined",
+                          self.verify_quarantined)
+        registry.register(f"{prefix}.verify.violations",
+                          self.verify_violations)
+        registry.register(f"{prefix}.verify.quarantine_depth",
+                          self.quarantine_depth)
+        for name, counter in sorted(self.verify_constraint.items()):
+            registry.register(f"{prefix}.verify.constraint.{name}", counter)
         registry.register(f"{prefix}.breaker.opens", self.breaker_opens)
         registry.register(f"{prefix}.breaker.fast_failures",
                           self.breaker_fast_failures)

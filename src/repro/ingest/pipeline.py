@@ -38,6 +38,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TRACER
 from repro.ingest.observation import Observation, ObservationBatch
 from repro.ingest.publisher import PatchPublisher
+from repro.core.validation import ConstraintEngine
 from repro.ingest.stages import (
     AssociateStage,
     ClassifyStage,
@@ -46,8 +47,10 @@ from repro.ingest.stages import (
     IngestConfig,
     TileState,
     ValidateStage,
+    VerifyStage,
     _PATCHES,
 )
+from repro.ingest.verify import QuarantineStore, VerifyGate
 from repro.serve.metrics import ServiceMetrics
 from repro.storage.journal import RecordJournal
 from repro.update.dbn import DiscreteDBN
@@ -116,7 +119,10 @@ class IngestPipeline:
                  supervisor_tick_s: float = 0.02,
                  stage_failure_threshold: int = 6,
                  breaker_cooldown_s: float = 0.25,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 verify: bool = True,
+                 constraint_engine: Optional[ConstraintEngine] = None,
+                 quarantine_path: Optional[str] = None) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.server = server
@@ -144,11 +150,21 @@ class IngestPipeline:
                                   lease_timeout_s=lease_timeout_s,
                                   clock=clock)
         self.prior = server.snapshot()
+        # The mandatory constraint gate between fuse and publish
+        # (ROADMAP item 4): one VerifyGate shared by the verify stage
+        # and the publisher backstop, so direct publisher callers (e.g.
+        # chaos harnesses) cannot route around it. `verify=False` exists
+        # only to measure the gate's own overhead (ingest-bench A/B).
+        self.verify_gate: Optional[VerifyGate] = None
+        if verify:
+            self.verify_gate = VerifyGate(
+                self.prior, engine=constraint_engine, metrics=self.metrics,
+                quarantine=QuarantineStore(quarantine_path))
         self.publisher = PatchPublisher(
             server, policy=policy, metrics=self.metrics,
             service_metrics=service_metrics,
             add_conflation_radius=self.config.conflation_radius_m,
-            clock=clock)
+            clock=clock, verifier=self.verify_gate)
         self.stages = [
             ValidateStage(),
             AssociateStage(self.prior, self.config),
@@ -156,6 +172,8 @@ class IngestPipeline:
             ClassifyStage(self.config),
             EmitStage(server.new_element_id, self.config, prior=self.prior),
         ]
+        if self.verify_gate is not None:
+            self.stages.append(VerifyStage(self.verify_gate))
         # One circuit breaker per stage, shared by all workers: a stage
         # that fails `stage_failure_threshold` consecutive deliveries is
         # declared systemically down and further batches are nacked fast
@@ -414,6 +432,10 @@ class IngestPipeline:
         })
         out["batches"] = batches
         out["patches"] = dict(out["patches"])  # type: ignore[arg-type]
+        verify = dict(out["verify"])  # type: ignore[arg-type]
+        if self.verify_gate is not None:
+            verify["quarantine_records"] = len(self.verify_gate.quarantine)
+        out["verify"] = verify
         breaker = dict(out["breaker"])  # type: ignore[arg-type]
         breaker["stages"] = {name: b.state
                              for name, b in sorted(self.breakers.items())}

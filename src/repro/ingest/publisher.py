@@ -29,7 +29,10 @@ import math
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest.verify import VerifyGate
 
 from repro.core.versioning import MapPatch
 from repro.ingest.metrics import IngestMetrics
@@ -62,11 +65,15 @@ class ConfirmedPatch:
     + target), so redelivered emissions collide instead of duplicating.
     ``enqueued_at`` is the bus enqueue stamp of the oldest observation
     that contributed — the start of the freshness-lag clock.
+    ``verified`` marks that the constraint gate already judged this
+    patch (set by :class:`~repro.ingest.verify.VerifyGate`), so the
+    publisher's backstop check does not run it twice.
     """
 
     key: str
     patch: MapPatch
     enqueued_at: float = 0.0
+    verified: bool = False
 
 
 @dataclass
@@ -75,6 +82,7 @@ class PublishResult:
     duplicate: bool
     version: Optional[int]
     result: Optional[IngestResult] = None
+    quarantined: bool = False
 
 
 class PatchPublisher:
@@ -87,13 +95,19 @@ class PatchPublisher:
                  add_conflation_radius: float = 6.0,
                  max_publish_attempts: int = 3,
                  publish_backoff_s: float = 0.01,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 verifier: Optional["VerifyGate"] = None) -> None:
         if max_publish_attempts < 1:
             raise ValueError("max_publish_attempts must be >= 1")
         self.server = server
         self.policy = policy
         self.metrics = metrics
         self.service_metrics = service_metrics
+        # Backstop constraint gate: any patch that reaches publish()
+        # without having passed the pipeline's VerifyStage
+        # (confirmed.verified False) is checked here, so nothing can
+        # route around the gate by publishing directly.
+        self.verifier = verifier
         self.add_conflation_radius = add_conflation_radius
         self.max_publish_attempts = max_publish_attempts
         self.publish_backoff_s = publish_backoff_s
@@ -153,6 +167,9 @@ class PatchPublisher:
             return out
 
     def _publish(self, confirmed: ConfirmedPatch) -> PublishResult:
+        if self.verifier is not None and not confirmed.verified and \
+                not self.verifier.admit(confirmed):
+            return PublishResult(False, False, None, quarantined=True)
         attempt = 0
         while True:
             delay = 0.0

@@ -15,7 +15,11 @@ Each stage does one job from the surveyed maintenance loop and hands a
   accumulated evidence, so one noisy traversal never patches the map;
 - :class:`EmitStage` turns confirmed beliefs into idempotent
   :class:`ConfirmedPatch` objects (a deterministic patch key per logical
-  change), emitting each change at most once per pipeline.
+  change), emitting each change at most once per pipeline;
+- :class:`VerifyStage` is the mandatory constraint gate between fuse
+  and publish: every emitted patch is checked by the shared
+  :class:`~repro.ingest.verify.VerifyGate` and violating patches are
+  quarantined (journaled with their violation report), never published.
 
 All per-tile state lives in :class:`TileState`, owned by the pipeline and
 keyed by tile — a tile maps to exactly one bus partition and one worker,
@@ -25,9 +29,12 @@ so stages never need locks, and state survives worker crashes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest.verify import VerifyGate
 
 from repro.core.elements import SignType, TrafficSign
 from repro.core.hdmap import HDMap
@@ -301,3 +308,24 @@ class EmitStage(Stage):
         for cp in patches:
             cp.enqueued_at = batch.enqueued_at
         carry[_PATCHES] = patches
+
+
+class VerifyStage(Stage):
+    """Constraint gate over the emit stage's output.
+
+    Runs as a normal pipeline stage so it inherits the per-stage
+    machinery for free: an ``ingest.stage.verify`` latency series, a
+    circuit breaker, and per-batch span annotation. The actual
+    decision lives in the shared :class:`~repro.ingest.verify
+    .VerifyGate` (also wired into the publisher as a backstop), so
+    both entry paths agree on one quarantine store and metric surface.
+    """
+
+    name = "verify"
+
+    def __init__(self, gate: "VerifyGate") -> None:
+        self.gate = gate
+
+    def process(self, state: TileState, batch: ObservationBatch,
+                carry: dict) -> None:
+        carry[_PATCHES] = self.gate.filter(carry.get(_PATCHES, []))

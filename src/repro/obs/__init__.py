@@ -45,6 +45,7 @@ from repro.obs.metrics import (
     FRESHNESS_BOUNDS,
     Counter,
     Gauge,
+    HotCounter,
     LatencyHistogram,
     MetricsRegistry,
     register_perf_registry,
@@ -75,6 +76,7 @@ __all__ = [
     "EventLog",
     "FRESHNESS_BOUNDS",
     "Gauge",
+    "HotCounter",
     "INFO",
     "LatencyHistogram",
     "MetricsRegistry",

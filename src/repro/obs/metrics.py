@@ -19,6 +19,8 @@ re-export the primitives for backward compatibility).
 
 from __future__ import annotations
 
+import copy
+import itertools
 import json
 import re
 import threading
@@ -55,6 +57,43 @@ class Counter:
     def __setstate__(self, state: Dict[str, int]) -> None:
         self._lock = threading.Lock()
         self._value = state["value"]
+
+
+class HotCounter(Counter):
+    """A lock-free :class:`Counter` for per-publish hot paths.
+
+    ``itertools.count.__next__`` runs entirely in C, so under the GIL a
+    single increment can never interleave with another thread's — the
+    same exactness the base class buys with a lock, at a fraction of
+    the cost. Reads peek a ``copy.copy`` of the iterator (copying a
+    ``count`` is non-consuming). Registry dispatch and pickling behave
+    exactly like the base class.
+    """
+
+    __slots__ = ("_count",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._count = itertools.count()
+
+    def add(self, n: int = 1) -> None:
+        if n == 1:
+            next(self._count)
+            return
+        for _ in range(n):  # each step is atomic; no lock needed
+            next(self._count)
+
+    @property
+    def value(self) -> int:
+        return next(copy.copy(self._count))
+
+    def __getstate__(self) -> Dict[str, int]:
+        return {"value": self.value}
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+        self._count = itertools.count(state["value"])
 
 
 class Gauge:

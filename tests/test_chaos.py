@@ -126,7 +126,7 @@ class TestChaosHarness:
         report = harness.run("mixed")
         assert sum(report.fired.values()) > 0
         assert report.certify(), report.format()
-        assert len(report.invariants) == 4
+        assert len(report.invariants) == 5
         assert all(r.ok for r in report.invariants)
 
     def test_report_format_names_the_invariants(self, city):

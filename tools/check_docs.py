@@ -7,12 +7,15 @@ Three checks, run by CI's lint job (and locally via
 
 1. every ``python -m repro`` subcommand registered by
    :func:`repro.cli.build_parser` is mentioned in README.md;
-2. every canonical metric name written in docs/OPERATIONS.md (backticked
+2. every canonical metric name written in the operator handbooks
+   (docs/OPERATIONS.md and docs/MAP_QUALITY.md — backticked
    ``serve.* / ingest.* / perf.* / log.*`` tokens, with ``<placeholder>``
    segments) resolves against the registry universe of a real
-   serve+ingest workload — the same one ``obs smoke`` gates on — so the
-   handbook can never name a metric the code stopped registering;
-3. every knob OPERATIONS.md tells an operator to turn — backticked
+   serve+ingest workload — the same one ``obs smoke`` gates on — so a
+   handbook can never name a metric the code stopped registering; the
+   ``ingest.verify.*`` constraint universe resolves because the
+   per-constraint counters are pre-seeded from the canonical catalog;
+3. every knob a handbook tells an operator to turn — backticked
    ``Ctor(arg=…)`` snippets and ``--flag`` mentions — is a real
    constructor/function argument or a real CLI flag.
 
@@ -40,6 +43,12 @@ KNOB_NAMESPACES = (
     "repro.update.distribution",
     "repro.cluster",
     "repro.pack",
+)
+
+#: Operator-facing handbooks whose metric names and knobs must resolve.
+HANDBOOKS = (
+    os.path.join("docs", "OPERATIONS.md"),
+    os.path.join("docs", "MAP_QUALITY.md"),
 )
 
 METRIC_TOKEN = re.compile(
@@ -141,23 +150,26 @@ def _metric_universe() -> Set[str]:
     return names
 
 
-def check_operations_metrics(errors: List[str]) -> None:
+def check_handbook_metrics(errors: List[str]) -> None:
     universe = _metric_universe()
-    doc = _read(os.path.join("docs", "OPERATIONS.md"))
-    for token in sorted(set(METRIC_TOKEN.findall(doc))):
-        if "<" in token:
-            # <placeholder> segments may span dots (perf kernel names
-            # are dotted); re.escape leaves the <...> markers intact.
-            pattern = re.compile(
-                "^" + re.sub(r"<[a-z]+>", r"[A-Za-z0-9_.]+",
-                             re.escape(token)) + "$")
-            if not any(pattern.match(name) for name in universe):
+    for handbook in HANDBOOKS:
+        label = os.path.basename(handbook)
+        doc = _read(handbook)
+        for token in sorted(set(METRIC_TOKEN.findall(doc))):
+            if "<" in token:
+                # <placeholder> segments may span dots (perf kernel
+                # names are dotted); re.escape leaves the <...> markers
+                # intact.
+                pattern = re.compile(
+                    "^" + re.sub(r"<[a-z]+>", r"[A-Za-z0-9_.]+",
+                                 re.escape(token)) + "$")
+                if not any(pattern.match(name) for name in universe):
+                    errors.append(
+                        f"{label}: metric pattern `{token}` matches "
+                        f"nothing in the registry")
+            elif token not in universe:
                 errors.append(
-                    f"OPERATIONS.md: metric pattern `{token}` matches "
-                    f"nothing in the registry")
-        elif token not in universe:
-            errors.append(
-                f"OPERATIONS.md: metric `{token}` is not registered")
+                    f"{label}: metric `{token}` is not registered")
 
 
 def _resolve_knob_target(name: str):
@@ -171,22 +183,8 @@ def _resolve_knob_target(name: str):
     return None
 
 
-def check_operations_knobs(errors: List[str]) -> None:
+def check_handbook_knobs(errors: List[str]) -> None:
     from repro.cli import build_parser
-
-    doc = _read(os.path.join("docs", "OPERATIONS.md"))
-    for name, arg in sorted(set(KNOB_CALL.findall(doc))):
-        target = _resolve_knob_target(name)
-        if target is None:
-            errors.append(
-                f"OPERATIONS.md: knob target `{name}` not found in "
-                f"{', '.join(KNOB_NAMESPACES)}")
-            continue
-        callee = target.__init__ if inspect.isclass(target) else target
-        params = inspect.signature(callee).parameters
-        if arg not in params:
-            errors.append(
-                f"OPERATIONS.md: `{name}({arg}=…)` — no such argument")
 
     flags: Set[str] = set()
     parser = build_parser()
@@ -199,17 +197,33 @@ def check_operations_knobs(errors: List[str]) -> None:
                     for leaf in nested.choices.values():
                         for leaf_action in leaf._actions:
                             flags.update(leaf_action.option_strings)
-    for flag in sorted(set(CLI_FLAG.findall(doc))):
-        if flag not in flags:
-            errors.append(
-                f"OPERATIONS.md: CLI flag `{flag}` does not exist")
+
+    for handbook in HANDBOOKS:
+        label = os.path.basename(handbook)
+        doc = _read(handbook)
+        for name, arg in sorted(set(KNOB_CALL.findall(doc))):
+            target = _resolve_knob_target(name)
+            if target is None:
+                errors.append(
+                    f"{label}: knob target `{name}` not found in "
+                    f"{', '.join(KNOB_NAMESPACES)}")
+                continue
+            callee = target.__init__ if inspect.isclass(target) else target
+            params = inspect.signature(callee).parameters
+            if arg not in params:
+                errors.append(
+                    f"{label}: `{name}({arg}=…)` — no such argument")
+        for flag in sorted(set(CLI_FLAG.findall(doc))):
+            if flag not in flags:
+                errors.append(
+                    f"{label}: CLI flag `{flag}` does not exist")
 
 
 def main() -> int:
     errors: List[str] = []
     check_cli_in_readme(errors)
-    check_operations_knobs(errors)
-    check_operations_metrics(errors)
+    check_handbook_knobs(errors)
+    check_handbook_metrics(errors)
     if errors:
         for line in errors:
             print(f"FAIL {line}")
